@@ -1,0 +1,58 @@
+//! A problem-independent simulated-annealing engine.
+//!
+//! OBLX's optimization core, extracted as a reusable library. The four
+//! components the paper names (§V.A) map onto this crate as follows:
+//!
+//! * **Representation** — owned by the problem, behind the
+//!   [`AnnealProblem`] trait;
+//! * **Move-set** — the problem exposes *move classes*
+//!   ([`AnnealProblem::propose`]); the engine picks among them with
+//!   Hustin's adaptive move-selection statistics ([`MoveStats`]) and
+//!   feeds back a per-class range `scale`;
+//! * **Cost function** — [`AnnealProblem::cost`], a scalar;
+//! * **Control** — a modified Lam–Delosme schedule
+//!   ([`schedule::LamSchedule`]): the temperature is continuously
+//!   steered so the measured acceptance ratio tracks Lam's theoretical
+//!   target trajectory, with Swartz-style smoothed statistics. No
+//!   problem-specific temperature constants are needed, which is the
+//!   paper's "automation tool" requirement.
+//!
+//! # Examples
+//!
+//! Minimizing a 1-D multimodal function:
+//!
+//! ```
+//! use oblx_anneal::{AnnealOptions, AnnealProblem, Annealer};
+//! use rand::RngExt;
+//!
+//! struct Wavy;
+//! impl AnnealProblem for Wavy {
+//!     type State = f64;
+//!     fn initial_state(&mut self) -> f64 { 7.0 }
+//!     fn cost(&mut self, x: &f64) -> f64 { x * x + 10.0 * (1.0 - (x).cos()) }
+//!     fn move_classes(&self) -> usize { 1 }
+//!     fn propose(&mut self, x: &f64, _class: usize, scale: f64,
+//!                rng: &mut dyn rand::Rng) -> Option<f64> {
+//!         let step = 8.0 * scale * (rng.random::<f64>() - 0.5);
+//!         Some(x + step)
+//!     }
+//! }
+//!
+//! let mut annealer = Annealer::new(AnnealOptions {
+//!     moves_budget: 20_000,
+//!     seed: 7,
+//!     ..AnnealOptions::default()
+//! });
+//! let result = annealer.run(&mut Wavy);
+//! assert!(result.best_cost < 1e-2, "found the global bowl at 0");
+//! ```
+
+mod engine;
+mod moves;
+pub mod schedule;
+mod trace;
+
+pub use engine::{AnnealOptions, AnnealProblem, AnnealResult, Annealer};
+pub use moves::{ClassStats, MoveStats};
+pub use schedule::LamSchedule;
+pub use trace::{Trace, TracePoint};

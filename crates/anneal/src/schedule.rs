@@ -1,0 +1,179 @@
+//! The modified Lam–Delosme cooling schedule.
+//!
+//! Lam's schedule steers the temperature so that the *measured*
+//! acceptance ratio follows a theoretically derived target trajectory:
+//! high early (exploration), pinned near 0.44 through the middle (the
+//! statistically optimal region for continuous problems), decaying to
+//! zero at the end (quench). The practical "modified Lam" variant used
+//! here (after Swartz) replaces Lam's full statistical machinery with an
+//! exponentially smoothed acceptance estimate and a multiplicative
+//! temperature correction — robust, constant-free, and the form used in
+//! modern annealing placers.
+
+/// Acceptance-ratio target as a function of progress `t ∈ [0, 1]`.
+///
+/// Piecewise trajectory: exponential descent from 1.0 to 0.44 over the
+/// first 15% of the run, flat 0.44 until 65%, then exponential decay
+/// toward zero.
+pub fn lam_target(t: f64) -> f64 {
+    let t = t.clamp(0.0, 1.0);
+    if t < 0.15 {
+        0.44 + 0.56 * (560.0f64).powf(-t / 0.15)
+    } else if t < 0.65 {
+        0.44
+    } else {
+        0.44 * (440.0f64).powf(-(t - 0.65) / 0.35)
+    }
+}
+
+/// The schedule state: smoothed acceptance estimate plus the current
+/// temperature.
+#[derive(Debug, Clone)]
+pub struct LamSchedule {
+    temperature: f64,
+    accept_est: f64,
+    total_moves: usize,
+    done_moves: usize,
+    smoothing: f64,
+}
+
+impl LamSchedule {
+    /// Creates a schedule for a run of `total_moves`, starting at
+    /// `initial_temperature` (typically from a warm-up probe; see
+    /// [`initial_temperature`]).
+    pub fn new(initial_temperature: f64, total_moves: usize) -> Self {
+        LamSchedule {
+            temperature: initial_temperature.max(1e-300),
+            accept_est: 1.0,
+            total_moves: total_moves.max(1),
+            done_moves: 0,
+            smoothing: 0.998,
+        }
+    }
+
+    /// Current temperature.
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+
+    /// Progress through the move budget, in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        self.done_moves as f64 / self.total_moves as f64
+    }
+
+    /// Smoothed measured acceptance ratio.
+    pub fn acceptance(&self) -> f64 {
+        self.accept_est
+    }
+
+    /// The target acceptance at the current progress.
+    pub fn target(&self) -> f64 {
+        lam_target(self.progress())
+    }
+
+    /// Records one move outcome and updates the temperature control
+    /// loop.
+    pub fn record(&mut self, accepted: bool) {
+        self.done_moves += 1;
+        let a = if accepted { 1.0 } else { 0.0 };
+        self.accept_est = self.smoothing * self.accept_est + (1.0 - self.smoothing) * a;
+        let target = self.target();
+        // Multiplicative steering: cool when accepting too much, reheat
+        // when accepting too little. The 0.999 constant sets the control
+        // bandwidth, not the schedule shape — it needs no per-problem
+        // tuning (paper §V.A's "no problem-specific constants").
+        const K: f64 = 0.999;
+        if self.accept_est > target {
+            self.temperature *= K;
+        } else {
+            self.temperature /= K;
+        }
+        // Hard quench at the very end.
+        if self.progress() >= 1.0 {
+            self.temperature = 0.0;
+        }
+    }
+
+    /// `true` once the move budget is exhausted.
+    pub fn exhausted(&self) -> bool {
+        self.done_moves >= self.total_moves
+    }
+}
+
+/// Estimates an initial temperature from a sample of uphill cost deltas
+/// so that the initial acceptance ratio is `chi0` (classic
+/// Kirkpatrick/White start): `T₀ = ⟨ΔC⁺⟩ / ln(1/χ₀)`.
+pub fn initial_temperature(uphill_deltas: &[f64], chi0: f64) -> f64 {
+    let ups: Vec<f64> = uphill_deltas.iter().copied().filter(|&d| d > 0.0).collect();
+    if ups.is_empty() {
+        return 1.0;
+    }
+    let mean = ups.iter().sum::<f64>() / ups.len() as f64;
+    let chi = chi0.clamp(0.5, 0.999);
+    mean / (1.0 / chi).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_trajectory_shape() {
+        assert!((lam_target(0.0) - 1.0).abs() < 1e-12);
+        assert!((lam_target(0.15) - 0.441).abs() < 2e-3);
+        assert!((lam_target(0.4) - 0.44).abs() < 1e-12);
+        assert!(lam_target(0.99) < 0.01);
+        assert!(lam_target(1.0) <= 0.001);
+        // Monotone non-increasing.
+        let mut last = f64::INFINITY;
+        for i in 0..=100 {
+            let v = lam_target(i as f64 / 100.0);
+            assert!(v <= last + 1e-12);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn cooling_under_full_acceptance() {
+        let mut s = LamSchedule::new(10.0, 1000);
+        for _ in 0..500 {
+            s.record(true);
+        }
+        // Accepting everything while the target decays ⇒ must cool.
+        assert!(s.temperature() < 10.0);
+        assert!(s.acceptance() > 0.9);
+    }
+
+    #[test]
+    fn reheating_under_full_rejection_early() {
+        let mut s = LamSchedule::new(1.0, 100_000);
+        // Drive the estimate below the early target.
+        for _ in 0..2_000 {
+            s.record(false);
+        }
+        assert!(
+            s.temperature() > 1.0,
+            "rejecting early must reheat: T = {}",
+            s.temperature()
+        );
+    }
+
+    #[test]
+    fn exhaustion_and_quench() {
+        let mut s = LamSchedule::new(1.0, 10);
+        for _ in 0..10 {
+            s.record(true);
+        }
+        assert!(s.exhausted());
+        assert_eq!(s.temperature(), 0.0);
+    }
+
+    #[test]
+    fn initial_temperature_formula() {
+        // Mean uphill 2.0, chi0 0.95 ⇒ T0 = 2/ln(1/0.95) ≈ 38.99.
+        let t0 = initial_temperature(&[1.0, 3.0, -5.0], 0.95);
+        assert!((t0 - 2.0 / (1.0f64 / 0.95).ln()).abs() < 1e-9);
+        // No uphill samples: fall back to 1.
+        assert_eq!(initial_temperature(&[-1.0, -2.0], 0.95), 1.0);
+    }
+}

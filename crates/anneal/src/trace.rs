@@ -1,0 +1,86 @@
+//! Annealing run traces, for convergence plots such as the paper's
+//! Fig. 2 (KCL discrepancy vs. optimization progress).
+
+/// One sampled point of an annealing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracePoint {
+    /// Move index at which the sample was taken.
+    pub move_index: usize,
+    /// Cost at the sample.
+    pub cost: f64,
+    /// Best cost seen so far.
+    pub best_cost: f64,
+    /// Temperature.
+    pub temperature: f64,
+    /// Smoothed acceptance ratio.
+    pub acceptance: f64,
+    /// Problem-defined telemetry values (see
+    /// [`crate::AnnealProblem::telemetry`]).
+    pub telemetry: Vec<f64>,
+}
+
+/// A sampled annealing trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Telemetry channel names, parallel to each point's `telemetry`.
+    pub names: Vec<String>,
+    /// Sampled points in move order.
+    pub points: Vec<TracePoint>,
+}
+
+impl Trace {
+    /// Creates an empty trace with the given telemetry channel names.
+    pub fn new(names: Vec<String>) -> Self {
+        Trace {
+            names,
+            points: Vec::new(),
+        }
+    }
+
+    /// The series for one telemetry channel, as
+    /// `(move_index, value)` pairs.
+    pub fn series(&self, name: &str) -> Option<Vec<(usize, f64)>> {
+        let idx = self.names.iter().position(|n| n == name)?;
+        Some(
+            self.points
+                .iter()
+                .map(|p| (p.move_index, p.telemetry[idx]))
+                .collect(),
+        )
+    }
+
+    /// The cost series as `(move_index, cost)` pairs.
+    pub fn cost_series(&self) -> Vec<(usize, f64)> {
+        self.points.iter().map(|p| (p.move_index, p.cost)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_lookup() {
+        let mut t = Trace::new(vec!["kcl".into(), "gain".into()]);
+        t.points.push(TracePoint {
+            move_index: 10,
+            cost: 5.0,
+            best_cost: 5.0,
+            temperature: 1.0,
+            acceptance: 0.9,
+            telemetry: vec![0.5, 40.0],
+        });
+        t.points.push(TracePoint {
+            move_index: 20,
+            cost: 3.0,
+            best_cost: 3.0,
+            temperature: 0.9,
+            acceptance: 0.8,
+            telemetry: vec![0.1, 55.0],
+        });
+        assert_eq!(t.series("kcl").unwrap(), vec![(10, 0.5), (20, 0.1)]);
+        assert_eq!(t.series("gain").unwrap(), vec![(10, 40.0), (20, 55.0)]);
+        assert!(t.series("nope").is_none());
+        assert_eq!(t.cost_series(), vec![(10, 5.0), (20, 3.0)]);
+    }
+}

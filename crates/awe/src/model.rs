@@ -1,0 +1,328 @@
+//! The reduced-order (pole/residue) model produced by AWE.
+
+use oblx_linalg::Complex;
+use std::error::Error;
+use std::fmt;
+
+/// Error from AWE analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AweError {
+    /// The conductance matrix is singular (node floating at dc).
+    SingularG,
+    /// The stimulus source name is unknown.
+    UnknownSource(String),
+    /// No model of any order could be fitted to the moments.
+    NoModel,
+}
+
+impl fmt::Display for AweError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AweError::SingularG => write!(f, "conductance matrix is singular at dc"),
+            AweError::UnknownSource(s) => write!(f, "unknown stimulus source `{s}`"),
+            AweError::NoModel => write!(f, "no reduced-order model could be fitted"),
+        }
+    }
+}
+
+impl Error for AweError {}
+
+/// A `q`-pole reduced-order transfer-function model
+/// `H(s) ≈ Σ kᵢ/(s − pᵢ)`, moment-matched to the exact response.
+///
+/// The dc value is corrected to the *exact* zeroth moment `µ₀`, so
+/// [`ReducedModel::dc_gain`] is exact even when the pole fit is
+/// approximate.
+#[derive(Debug, Clone)]
+pub struct ReducedModel {
+    poles: Vec<Complex>,
+    residues: Vec<Complex>,
+    mu0: f64,
+    moments: Vec<f64>,
+    q: usize,
+}
+
+impl ReducedModel {
+    /// Builds a model from fitted poles/residues, the exact `µ₀`, and
+    /// the raw moment record.
+    pub(crate) fn new(
+        poles: Vec<Complex>,
+        residues: Vec<Complex>,
+        mu0: f64,
+        moments: Vec<f64>,
+        q: usize,
+    ) -> Self {
+        ReducedModel {
+            poles,
+            residues,
+            mu0,
+            moments,
+            q,
+        }
+    }
+
+    /// A constant (pole-free) model, used for zero transfer functions.
+    pub(crate) fn constant(value: f64) -> Self {
+        ReducedModel {
+            poles: Vec::new(),
+            residues: Vec::new(),
+            mu0: value,
+            moments: vec![value],
+            q: 0,
+        }
+    }
+
+    /// The model order `q`.
+    pub fn order(&self) -> usize {
+        self.q
+    }
+
+    /// Fitted poles (rad/s).
+    pub fn poles(&self) -> &[Complex] {
+        &self.poles
+    }
+
+    /// Fitted residues.
+    pub fn residues(&self) -> &[Complex] {
+        &self.residues
+    }
+
+    /// The raw moment sequence the model was fitted to.
+    pub fn moments(&self) -> &[f64] {
+        &self.moments
+    }
+
+    /// Evaluates `H(s)`.
+    ///
+    /// The pole/residue sum is dc-corrected: an offset term aligns
+    /// `H(0)` with the exact zeroth moment, absorbing any truncation
+    /// error of the fit. The offset is shaped as a one-pole low-pass at
+    /// the dominant pole rather than a constant — a constant would give
+    /// the model a fictitious high-frequency floor `|Δ|`, which an
+    /// optimizer would happily exploit as infinite bandwidth.
+    pub fn eval(&self, s: Complex) -> Complex {
+        let mut acc = Complex::ZERO;
+        for (p, k) in self.poles.iter().zip(self.residues.iter()) {
+            acc += *k / (s - *p);
+        }
+        let delta = self.dc_correction();
+        if delta != 0.0 {
+            match self.dominant_pole() {
+                Some(pd) => {
+                    let w = pd.norm().max(1e-30);
+                    acc += Complex::from_real(delta) / (Complex::ONE + s / w);
+                }
+                None => acc += Complex::from_real(delta),
+            }
+        }
+        acc
+    }
+
+    fn dc_correction(&self) -> f64 {
+        // H_pr(0) = Σ −k/p; correction = µ0 − H_pr(0).
+        let mut h0 = Complex::ZERO;
+        for (p, k) in self.poles.iter().zip(self.residues.iter()) {
+            h0 += -(*k) / *p;
+        }
+        self.mu0 - h0.re
+    }
+
+    /// The exact dc gain `|H(0)| = |µ₀|`.
+    pub fn dc_gain(&self) -> f64 {
+        self.mu0.abs()
+    }
+
+    /// The signed dc transfer `µ₀`.
+    pub fn dc_value(&self) -> f64 {
+        self.mu0
+    }
+
+    /// The dominant pole: smallest `|Re|` (rad/s), if any.
+    pub fn dominant_pole(&self) -> Option<Complex> {
+        self.poles
+            .iter()
+            .copied()
+            .min_by(|a, b| a.re.abs().partial_cmp(&b.re.abs()).expect("finite poles"))
+    }
+
+    /// The k-th pole sorted by ascending magnitude (1-based, as in the
+    /// `pole(tf, k)` specification function). `None` when out of range.
+    pub fn pole(&self, k: usize) -> Option<Complex> {
+        let mut sorted = self.poles.clone();
+        sorted.sort_by(|a, b| a.norm().partial_cmp(&b.norm()).expect("finite poles"));
+        sorted.get(k.checked_sub(1)?).copied()
+    }
+
+    /// `true` when every pole lies strictly in the left half-plane.
+    pub fn is_stable(&self) -> bool {
+        self.poles.iter().all(|p| p.re < 0.0)
+    }
+
+    /// The transfer function's zeros: roots of the numerator polynomial
+    /// reconstructed from the pole/residue form,
+    /// `N(s) = Σᵢ kᵢ·Πⱼ≠ᵢ (s − pⱼ)`.
+    ///
+    /// A right-half-plane zero from Miller feedthrough shows up here —
+    /// the quantity the `zero(tf, k)` specification function reads.
+    pub fn zeros(&self) -> Vec<Complex> {
+        let q = self.poles.len();
+        if q == 0 {
+            return Vec::new();
+        }
+        // Numerator coefficients by expanding Σ k_i Π_{j≠i}(s - p_j).
+        let mut num = vec![Complex::ZERO; q]; // degree ≤ q-1
+        for i in 0..q {
+            // Build Π_{j≠i}(s - p_j) incrementally.
+            let mut part = vec![Complex::ONE];
+            for (j, &pj) in self.poles.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let mut next = vec![Complex::ZERO; part.len() + 1];
+                for (d, &c) in part.iter().enumerate() {
+                    next[d + 1] += c;
+                    next[d] += -pj * c;
+                }
+                part = next;
+            }
+            for (d, &c) in part.iter().enumerate() {
+                num[d] += self.residues[i] * c;
+            }
+        }
+        oblx_linalg::aberth_roots(&num)
+    }
+
+    /// The k-th zero sorted by ascending magnitude (1-based, matching
+    /// `pole(tf, k)`), or `None` when out of range.
+    pub fn zero(&self, k: usize) -> Option<Complex> {
+        let mut z = self.zeros();
+        z.sort_by(|a, b| a.norm().partial_cmp(&b.norm()).expect("finite zeros"));
+        z.get(k.checked_sub(1)?).copied()
+    }
+}
+
+impl fmt::Display for ReducedModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "q = {}, dc = {:.6e}", self.q, self.mu0)?;
+        for (p, k) in self.poles.iter().zip(self.residues.iter()) {
+            writeln!(f, "  pole {p}  residue {k}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_pole() -> ReducedModel {
+        // H(s) = 1000/(s + 1000): dc gain 1, pole −1000.
+        ReducedModel::new(
+            vec![Complex::from_real(-1000.0)],
+            vec![Complex::from_real(1000.0)],
+            1.0,
+            vec![1.0, -1e-3],
+            1,
+        )
+    }
+
+    #[test]
+    fn eval_at_dc_matches_mu0() {
+        let m = one_pole();
+        assert!((m.eval(Complex::ZERO).re - 1.0).abs() < 1e-12);
+        assert_eq!(m.dc_gain(), 1.0);
+    }
+
+    #[test]
+    fn eval_at_pole_frequency() {
+        let m = one_pole();
+        let h = m.eval(Complex::new(0.0, 1000.0));
+        assert!((h.norm() - 1.0 / 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dc_correction_absorbs_truncation() {
+        // Model with mu0 deliberately different from pole/residue dc.
+        let m = ReducedModel::new(
+            vec![Complex::from_real(-10.0)],
+            vec![Complex::from_real(5.0)],
+            2.0, // exact µ0
+            vec![2.0],
+            1,
+        );
+        // Pole/residue dc = 0.5; correction pushes H(0) to 2.0.
+        assert!((m.eval(Complex::ZERO).re - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominant_and_sorted_poles() {
+        let m = ReducedModel::new(
+            vec![Complex::from_real(-1e6), Complex::from_real(-100.0)],
+            vec![Complex::from_real(1.0), Complex::from_real(1.0)],
+            1.0,
+            vec![],
+            2,
+        );
+        assert_eq!(m.dominant_pole().unwrap().re, -100.0);
+        assert_eq!(m.pole(1).unwrap().re, -100.0);
+        assert_eq!(m.pole(2).unwrap().re, -1e6);
+        assert_eq!(m.pole(3), None);
+        assert_eq!(m.pole(0), None);
+        assert!(m.is_stable());
+    }
+
+    #[test]
+    fn instability_detected() {
+        let m = ReducedModel::new(
+            vec![Complex::from_real(5.0)],
+            vec![Complex::from_real(1.0)],
+            1.0,
+            vec![],
+            1,
+        );
+        assert!(!m.is_stable());
+    }
+
+    #[test]
+    fn zeros_of_two_pole_one_zero_model() {
+        // H(s) = 1/(s+1) + 1/(s+3) = (2s+4)/((s+1)(s+3)): zero at −2.
+        let m = ReducedModel::new(
+            vec![Complex::from_real(-1.0), Complex::from_real(-3.0)],
+            vec![Complex::from_real(1.0), Complex::from_real(1.0)],
+            4.0 / 3.0,
+            vec![],
+            2,
+        );
+        let z = m.zeros();
+        assert_eq!(z.len(), 1);
+        assert!((z[0] - Complex::from_real(-2.0)).norm() < 1e-9, "{z:?}");
+        assert_eq!(m.zero(1).map(|z| z.re.round()), Some(-2.0));
+        assert_eq!(m.zero(2), None);
+    }
+
+    #[test]
+    fn rhp_zero_detected() {
+        // H(s) = 2/(s+1) − 1/(s+10) = (s+19)/((s+1)(s+10))… adjust for a
+        // RHP zero: H = 1/(s+1) − 0.5/(s+10) → N = 0.5s + 9.5 (LHP).
+        // Use H = 1/(s+1) − 2/(s+10): N(s) = (s+10) − 2(s+1) = −s + 8 →
+        // zero at +8 (RHP).
+        let m = ReducedModel::new(
+            vec![Complex::from_real(-1.0), Complex::from_real(-10.0)],
+            vec![Complex::from_real(1.0), Complex::from_real(-2.0)],
+            0.8,
+            vec![],
+            2,
+        );
+        let z = m.zeros();
+        assert_eq!(z.len(), 1);
+        assert!((z[0] - Complex::from_real(8.0)).norm() < 1e-9, "{z:?}");
+    }
+
+    #[test]
+    fn constant_model() {
+        let m = ReducedModel::constant(0.0);
+        assert_eq!(m.order(), 0);
+        assert_eq!(m.eval(Complex::new(0.0, 1e6)).norm(), 0.0);
+        assert!(m.is_stable());
+    }
+}

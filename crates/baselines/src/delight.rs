@@ -1,0 +1,222 @@
+//! The DELIGHT.SPICE-class baseline: gradient-based local optimization
+//! over the full simulator.
+//!
+//! Every cost evaluation performs a *complete Newton–Raphson bias
+//! solve* plus direct ac measurements — exactly the per-iteration price
+//! that forces simulation-based optimizers to use local methods with
+//! few iterations, which in turn makes them starting-point-dependent
+//! (paper §II "Efficiency/Starting Point Sensitivity").
+
+use astrx_oblx::cost::normalized;
+use astrx_oblx::oblx::OblxState;
+use astrx_oblx::verify::verify_design;
+use astrx_oblx::CompiledProblem;
+use oblx_netlist::SpecKind;
+
+/// Options for the local optimizer.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalOptions {
+    /// Maximum gradient iterations.
+    pub max_iters: usize,
+    /// Relative finite-difference step in log-variable space.
+    pub fd_step: f64,
+    /// Initial line-search step in log space.
+    pub step0: f64,
+    /// Convergence tolerance on the cost decrease.
+    pub tol: f64,
+}
+
+impl Default for LocalOptions {
+    fn default() -> Self {
+        LocalOptions {
+            max_iters: 40,
+            fd_step: 0.02,
+            step0: 0.25,
+            tol: 1e-5,
+        }
+    }
+}
+
+/// Result of a local optimization run.
+#[derive(Debug, Clone)]
+pub struct LocalResult {
+    /// Final user-variable values.
+    pub user: Vec<f64>,
+    /// Final penalty cost.
+    pub cost: f64,
+    /// Full-simulation evaluations spent.
+    pub evaluations: usize,
+    /// `true` when the run stalled (no descent direction) rather than
+    /// exhausting iterations.
+    pub converged: bool,
+}
+
+/// Evaluates the penalty cost of a user-variable assignment via the
+/// **full simulator** (Newton bias solve + ac measurements): the
+/// DELIGHT-style objective. Returns `None` when the bias fails to
+/// solve or a measurement is impossible — the hard cliff that local
+/// optimizers must be primed to avoid.
+pub fn simulator_cost(compiled: &CompiledProblem, user: &[f64]) -> Option<(f64, Vec<f64>)> {
+    let state = OblxState {
+        user: user.to_vec(),
+        nodes: vec![0.0; compiled.node_vars.len()],
+    };
+    let verified = verify_design(compiled, &state, &[]).ok()?;
+    let mut cost = 0.0;
+    let mut measured = Vec::with_capacity(verified.rows.len());
+    for (goal, (_, _, sim)) in compiled.problem.specs.iter().zip(verified.rows.iter()) {
+        measured.push(*sim);
+        let z = normalized(goal, *sim);
+        match goal.kind {
+            SpecKind::Objective => cost += z.max(-3.0),
+            SpecKind::Constraint => cost += 10.0 * z.clamp(0.0, 100.0),
+        }
+    }
+    if !cost.is_finite() {
+        return None;
+    }
+    Some((cost, measured))
+}
+
+/// Runs steepest-descent with backtracking line search in log-variable
+/// space, from `start` (user-variable values).
+pub fn local_optimize(
+    compiled: &CompiledProblem,
+    start: &[f64],
+    opts: &LocalOptions,
+) -> LocalResult {
+    let clamp = |i: usize, v: f64| -> f64 {
+        let d = &compiled.user_vars[i];
+        v.clamp(d.min, d.max)
+    };
+    let mut evals = 0usize;
+    let mut eval = |user: &[f64]| -> f64 {
+        evals += 1;
+        match simulator_cost(compiled, user) {
+            Some((c, _)) => c,
+            None => 1e6,
+        }
+    };
+
+    let n = start.len();
+    let mut x: Vec<f64> = start
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| clamp(i, v))
+        .collect();
+    let mut fx = eval(&x);
+    let mut converged = false;
+
+    for _ in 0..opts.max_iters {
+        // Finite-difference gradient in log space (all benchmark user
+        // variables are positive).
+        let mut grad = vec![0.0; n];
+        for i in 0..n {
+            let mut xp = x.clone();
+            xp[i] = clamp(i, x[i] * (1.0 + opts.fd_step));
+            let mut xm = x.clone();
+            xm[i] = clamp(i, x[i] / (1.0 + opts.fd_step));
+            let h = (xp[i] / xm[i]).ln();
+            if h.abs() < 1e-12 {
+                continue;
+            }
+            grad[i] = (eval(&xp) - eval(&xm)) / h;
+        }
+        let gnorm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+        if gnorm < 1e-12 {
+            converged = true;
+            break;
+        }
+        // Backtracking line search along −grad in log space.
+        let mut step = opts.step0;
+        let mut improved = false;
+        for _ in 0..8 {
+            let cand: Vec<f64> = x
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| clamp(i, v * (-step * grad[i] / gnorm).exp()))
+                .collect();
+            let fc = eval(&cand);
+            if fc < fx - opts.tol {
+                x = cand;
+                fx = fc;
+                improved = true;
+                break;
+            }
+            step *= 0.5;
+        }
+        if !improved {
+            converged = true;
+            break;
+        }
+    }
+
+    LocalResult {
+        user: x,
+        cost: fx,
+        evaluations: evals,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astrx_oblx::bench_suite;
+
+    fn compiled() -> CompiledProblem {
+        astrx_oblx::astrx::compile(bench_suite::simple_ota().problem().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn simulator_cost_evaluates_default_sizing() {
+        let c = compiled();
+        let user = c.initial_user_values();
+        let (cost, measured) = simulator_cost(&c, &user).expect("bias must solve");
+        assert!(cost.is_finite());
+        assert_eq!(measured.len(), c.problem.specs.len());
+    }
+
+    #[test]
+    fn local_optimizer_descends() {
+        let c = compiled();
+        let start = c.initial_user_values();
+        let (f0, _) = simulator_cost(&c, &start).unwrap();
+        let res = local_optimize(
+            &c,
+            &start,
+            &LocalOptions {
+                max_iters: 6,
+                ..LocalOptions::default()
+            },
+        );
+        assert!(res.cost <= f0, "descent: {f0} -> {}", res.cost);
+        assert!(res.evaluations > 10);
+    }
+
+    #[test]
+    fn starting_point_sensitivity() {
+        // Two starting points, two different local answers — the §II
+        // argument for why local optimization is not synthesis.
+        let c = compiled();
+        let opts = LocalOptions {
+            max_iters: 8,
+            ..LocalOptions::default()
+        };
+        let a = local_optimize(&c, &c.initial_user_values(), &opts);
+        // A second start: everything near the small end of its range.
+        let start_b: Vec<f64> = c
+            .user_vars
+            .iter()
+            .map(|v| (v.min * 2.0).min(v.max))
+            .collect();
+        let b = local_optimize(&c, &start_b, &opts);
+        let spread = (a.cost - b.cost).abs() / a.cost.abs().max(1e-9);
+        assert!(
+            spread > 0.05,
+            "local optima should differ across starts: {} vs {}",
+            a.cost,
+            b.cost
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Prior-approach baselines for the Fig. 3 comparison.
+//!
+//! The paper situates ASTRX/OBLX between two failure modes of earlier
+//! synthesis work:
+//!
+//! * **Equation-based synthesis** ([`equation`]): minutes of CPU time,
+//!   but the circuit equations are hand-derived from simplified device
+//!   models, so predictions can be off by ~200% against a real
+//!   simulator — and each new topology costs weeks-to-years of
+//!   derivation effort.
+//! * **Simulation-based local optimization** ([`delight`],
+//!   DELIGHT.SPICE-style): accurate evaluation, but the gradient
+//!   optimizer needs a good starting point and gets trapped in local
+//!   minima, which is what blocked the jump from *optimization* to
+//!   *synthesis* for a decade (paper §II).
+//!
+//! Both baselines run against the same benchmark descriptions and the
+//! same reference simulator as OBLX, so the comparison isolates the
+//! *method*.
+
+pub mod delight;
+pub mod equation;
+pub mod fig3;
+
+pub use delight::{local_optimize, simulator_cost, LocalOptions, LocalResult};
+pub use equation::{design_simple_ota, EquationDesign, OtaSpec};
+pub use fig3::{fig3_points, Fig3Point, MethodClass};

@@ -1,0 +1,53 @@
+//! §IV's efficiency claim: AWE evaluates a linear circuit for the cost
+//! of roughly one LU factorization, "orders of magnitude faster" than a
+//! SPICE-class per-frequency analysis.
+//!
+//! For each benchmark jig (linearized at a Newton-solved bias point)
+//! this bench times: one AWE analysis (moments + Padé + poles), one
+//! single-frequency complex solve, and a 30-point ac sweep.
+
+use astrx_oblx::bench_suite;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n§IV AWE-vs-simulation economics (paper: tens of ms per AWE eval in 1994;");
+    println!("a SPICE-style multi-frequency analysis costs 1–2 orders of magnitude more)\n");
+    for b in [
+        bench_suite::simple_ota(),
+        bench_suite::two_stage(),
+        bench_suite::folded_cascode(),
+        bench_suite::novel_folded_cascode(),
+    ] {
+        let compiled = oblx_bench::compiled(&b);
+        let (sys, src, out) = oblx_bench::first_jig_system(&compiled);
+        let dim = sys.dim();
+        let mut g = c.benchmark_group(format!("awe_speed/{}", b.name));
+        g.bench_function(format!("awe_analysis_dim{dim}"), |bench| {
+            bench.iter(|| {
+                let m = oblx_awe::analyze(&sys, &src, out, 5).expect("model");
+                black_box(m.dc_gain())
+            })
+        });
+        g.bench_function("single_complex_solve", |bench| {
+            bench.iter(|| black_box(sys.transfer(&src, out, 1.0e6).expect("solve").norm()))
+        });
+        g.bench_function("ac_sweep_30pt", |bench| {
+            bench.iter(|| {
+                let mut acc = 0.0;
+                for i in 0..30 {
+                    let f = 10f64.powf(1.0 + 8.0 * i as f64 / 29.0);
+                    acc += sys
+                        .transfer(&src, out, 2.0 * std::f64::consts::PI * f)
+                        .expect("solve")
+                        .norm();
+                }
+                black_box(acc)
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Encapsulated-device-evaluator throughput: the innermost kernel of
+//! every cost evaluation. The paper's architecture assumes evaluators
+//! are cheap enough to call for every device on every annealing move.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oblx_devices::process::ProcessDeck;
+use oblx_devices::{BjtModel, BjtParams, ModelLibrary};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("device_eval");
+
+    for (label, deck) in [
+        ("mos_level1", ProcessDeck::C2Level1),
+        ("mos_level3", ProcessDeck::C12Level3),
+        ("mos_bsim", ProcessDeck::C2Bsim),
+    ] {
+        let lib = ModelLibrary::from_cards(&deck.cards()).expect("deck");
+        let m = lib.mos("nmos").expect("nmos").clone();
+        g.bench_function(label, |bench| {
+            bench.iter(|| {
+                // A small grid of bias points exercises all regions.
+                let mut acc = 0.0;
+                for vd in [0.1, 1.5, 4.0] {
+                    for vg in [0.5, 1.5, 3.0] {
+                        let op = m.op(20e-6, 2e-6, vd, vg, 0.0, 0.0);
+                        acc += op.id + op.gm;
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+
+    let q = BjtModel::new("q", true, BjtParams::default());
+    g.bench_function("bjt_gummel_poon", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for vb in [0.3, 0.65, 0.8] {
+                for vc in [0.2, 2.0, 4.5] {
+                    let op = q.op(1.0, vc, vb, 0.0);
+                    acc += op.ic + op.gm_be;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

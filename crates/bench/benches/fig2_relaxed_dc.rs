@@ -1,0 +1,54 @@
+//! Fig. 2 — the relaxed-dc trace, plus the cost of the Newton–Raphson
+//! *move* the formulation replaces with a penalty term (the economics
+//! the relaxed-dc idea rests on: a full NR solve costs many evaluations'
+//! worth of work, so it must not run on every annealing move).
+
+use astrx_oblx::bench_suite;
+use astrx_oblx::oblx::{synthesize, OblxProblem, SynthesisOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use oblx_anneal::AnnealProblem;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn print_fig2() {
+    let b = bench_suite::simple_ota();
+    let compiled = oblx_bench::compiled(&b);
+    let moves = oblx_bench::synthesis_budget(12_000);
+    let result = synthesize(
+        &compiled,
+        &SynthesisOptions {
+            moves_budget: moves,
+            seed: 5,
+            trace_every: moves / 24,
+            ..SynthesisOptions::default()
+        },
+    )
+    .expect("synthesis");
+    println!("\nFig. 2 — max |KCL residual| (A) vs move count, Simple OTA:");
+    for (mv, kcl) in result.trace.series("kcl_max").expect("traced") {
+        println!("  move {mv:>7}: {kcl:.3e}");
+    }
+    println!("  final best: {:.3e} A\n", result.kcl_max);
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig2();
+    let compiled = oblx_bench::compiled(&bench_suite::simple_ota());
+    let mut problem = OblxProblem::new(&compiled, SynthesisOptions::default());
+    let state = problem.initial_state();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+
+    let mut g = c.benchmark_group("fig2_relaxed_dc");
+    // One full-NR move (Jacobian build + factor + solve) vs one random
+    // node move — the cost asymmetry that motivates relaxed dc.
+    g.bench_function("newton_full_move", |bench| {
+        bench.iter(|| black_box(problem.propose(black_box(&state), 4, 1.0, &mut rng)))
+    });
+    g.bench_function("random_node_move", |bench| {
+        bench.iter(|| black_box(problem.propose(black_box(&state), 2, 1.0, &mut rng)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

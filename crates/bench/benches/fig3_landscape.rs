@@ -1,0 +1,75 @@
+//! Fig. 3 — the accuracy/effort landscape: times the two baseline
+//! methods (square-law design procedure; one gradient step of the
+//! DELIGHT-style local optimizer) against one OBLX cost evaluation,
+//! and prints the landscape rows.
+
+use astrx_oblx::bench_suite;
+use astrx_oblx::cost::CostEvaluator;
+use astrx_oblx::verify::verify_design;
+use astrx_oblx::AdaptiveWeights;
+use criterion::{criterion_group, criterion_main, Criterion};
+use oblx_baselines::delight::simulator_cost;
+use oblx_baselines::equation::{design_simple_ota, OtaSpec, SquareLawProcess};
+use oblx_baselines::fig3::fig3_points;
+use std::hint::black_box;
+
+fn print_fig3() {
+    println!("\nFig. 3 — literature cluster coordinates (as plotted by the paper):");
+    for p in fig3_points() {
+        println!(
+            "  {:<34} {:<28} complexity {:>3}  error {:>5.0}%  effort {:>6.0} h",
+            p.tool,
+            p.class.label(),
+            p.complexity,
+            p.error_pct,
+            p.effort_hours
+        );
+    }
+    // Measured equation-based point.
+    let b = bench_suite::simple_ota();
+    let compiled = oblx_bench::compiled(&b);
+    let d = design_simple_ota(&OtaSpec::default(), &SquareLawProcess::default());
+    let state = d.to_state(&compiled);
+    if let Ok(v) = verify_design(&compiled, &state, &d.predicted) {
+        println!(
+            "  {:<34} {:<28} measured error {:>5.0}% (against the BSIM-deck simulator)",
+            "square-law OTA design (this repo)",
+            "equation-based (simplified)",
+            100.0 * v.worst_relative_error()
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig3();
+    let b = bench_suite::simple_ota();
+    let compiled = oblx_bench::compiled(&b);
+
+    let mut g = c.benchmark_group("fig3_method_costs");
+    g.bench_function("equation_based_design", |bench| {
+        bench.iter(|| {
+            black_box(design_simple_ota(
+                &OtaSpec::default(),
+                &SquareLawProcess::default(),
+            ))
+        })
+    });
+
+    let ev = CostEvaluator::new(&compiled);
+    let w = AdaptiveWeights::new(&compiled);
+    let user = compiled.initial_user_values();
+    let nodes = oblx_bench::newton_nodes(&compiled);
+    g.bench_function("oblx_cost_evaluation", |bench| {
+        bench.iter(|| black_box(ev.evaluate(&user, &nodes, &w).total))
+    });
+
+    g.sample_size(10);
+    g.bench_function("delight_full_simulation_eval", |bench| {
+        bench.iter(|| black_box(simulator_cost(&compiled, &user)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! §VI model experiment: the same Simple OTA problem evaluated under
+//! BSIM/2µ, BSIM/1.2µ, and MOS3/1.2µ decks — the cost-evaluation price
+//! of each deck, plus a printed short-synthesis area comparison.
+//!
+//! Paper result: areas 580 µm² (BSIM/2µ) > 300 µm² (BSIM/1.2µ) >
+//! 140 µm² (MOS3/1.2µ) for identical specs.
+
+use astrx_oblx::bench_suite;
+use astrx_oblx::cost::CostEvaluator;
+use astrx_oblx::oblx::{synthesize, SynthesisOptions};
+use astrx_oblx::report::eng;
+use astrx_oblx::verify::verify_result;
+use astrx_oblx::AdaptiveWeights;
+use criterion::{criterion_group, criterion_main, Criterion};
+use oblx_devices::process::ProcessDeck;
+use std::hint::black_box;
+
+const DECKS: [ProcessDeck; 3] = [
+    ProcessDeck::C2Bsim,
+    ProcessDeck::C12Bsim,
+    ProcessDeck::C12Level3,
+];
+
+fn print_experiment() {
+    println!("\n§VI model experiment (short runs; paper areas 580/300/140 µm²):");
+    let b = bench_suite::simple_ota();
+    for deck in DECKS {
+        let compiled = astrx_oblx::astrx::compile(b.problem_with_deck(deck).expect("parses"))
+            .expect("compiles");
+        let result = synthesize(
+            &compiled,
+            &SynthesisOptions {
+                moves_budget: oblx_bench::synthesis_budget(12_000),
+                seed: 9,
+                ..SynthesisOptions::default()
+            },
+        )
+        .expect("synthesis");
+        match verify_result(&compiled, &result) {
+            Ok(v) => println!(
+                "  {:<10} area {} m^2, cost {:.3}, pred err {:.2}%",
+                deck.label(),
+                eng(v.area),
+                result.best_cost,
+                100.0 * v.worst_relative_error()
+            ),
+            Err(e) => println!("  {:<10} verification failed: {e}", deck.label()),
+        }
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_experiment();
+    let b = bench_suite::simple_ota();
+    let mut g = c.benchmark_group("model_experiment_eval_cost");
+    for deck in DECKS {
+        let compiled = astrx_oblx::astrx::compile(b.problem_with_deck(deck).expect("parses"))
+            .expect("compiles");
+        let ev = CostEvaluator::new(&compiled);
+        let w = AdaptiveWeights::new(&compiled);
+        let user = compiled.initial_user_values();
+        let nodes = oblx_bench::newton_nodes(&compiled);
+        g.bench_function(deck.label(), |bench| {
+            bench.iter(|| black_box(ev.evaluate(&user, &nodes, &w).total))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

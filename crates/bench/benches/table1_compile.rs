@@ -1,0 +1,58 @@
+//! Table 1 — ASTRX analysis statistics, plus the compile-time cost of
+//! producing them for every benchmark.
+
+use astrx_oblx::bench_suite;
+use astrx_oblx::report::TextTable;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn print_table1() {
+    let mut t = TextTable::new(vec![
+        "circuit",
+        "in lines (paper)",
+        "user vars (paper)",
+        "node vars (paper)",
+        "terms (paper)",
+        "C lines (paper)",
+    ]);
+    for b in bench_suite::all() {
+        let c = oblx_bench::compiled(&b);
+        let s = &c.stats;
+        let p = &b.paper;
+        t.row(vec![
+            b.name.to_string(),
+            format!(
+                "{} ({})",
+                s.netlist_lines + s.synthesis_lines,
+                p.netlist_lines + p.synthesis_lines
+            ),
+            format!("{} ({})", s.user_vars, p.user_vars),
+            format!("{} ({})", s.node_vars, p.node_vars),
+            format!("{} ({})", s.terms, p.terms),
+            format!("{} ({})", s.c_lines, p.c_lines),
+        ]);
+    }
+    println!(
+        "\nTable 1 — ASTRX analysis (measured, paper in parens)\n{}",
+        t.render()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table1();
+    let mut g = c.benchmark_group("table1_astrx_compile");
+    for b in bench_suite::all() {
+        let problem = b.problem().expect("parses");
+        g.bench_function(b.name, |bench| {
+            bench.iter(|| {
+                let compiled =
+                    astrx_oblx::astrx::compile(black_box(problem.clone())).expect("compiles");
+                black_box(compiled.stats.terms)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

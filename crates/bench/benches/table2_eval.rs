@@ -1,0 +1,39 @@
+//! Table 2's "time/ckt. eval" row: the cost of one full OBLX circuit
+//! evaluation (bias assembly + device evaluations + KCL + per-jig AWE +
+//! spec arithmetic) for each benchmark.
+//!
+//! The paper reports 36–116 ms on an IBM RS/6000-550; the *shape* claim
+//! carried over is that the folded-cascode class costs ~3× the simple
+//! OTA class, and that evaluations are cheap enough for tens of
+//! thousands of annealing moves.
+
+use astrx_oblx::cost::CostEvaluator;
+use astrx_oblx::{bench_suite, AdaptiveWeights};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_time_per_eval");
+    println!("\nTable 2 'time/ckt. eval' (paper, 1994 hardware): Simple OTA 36 ms, OTA 37 ms,");
+    println!("Two-Stage 38 ms, Folded Cascode 116 ms, BiCMOS Two-Stage 38 ms\n");
+    for b in bench_suite::all() {
+        let compiled = oblx_bench::compiled(&b);
+        let ev = CostEvaluator::new(&compiled);
+        let w = AdaptiveWeights::new(&compiled);
+        let user = compiled.initial_user_values();
+        let nodes = oblx_bench::newton_nodes(&compiled);
+        // Sanity: the evaluation must succeed before timing it.
+        let probe = ev.evaluate(&user, &nodes, &w);
+        assert!(!probe.failed, "{}: evaluation failed", b.name);
+        g.bench_function(b.name, |bench| {
+            bench.iter(|| {
+                let breakdown = ev.evaluate(black_box(&user), black_box(&nodes), &w);
+                black_box(breakdown.total)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Table 2's "CPU time/run" row: a complete (budgeted) OBLX annealing
+//! run on the Simple OTA, timed end to end, plus a printed spec table
+//! from a short run.
+//!
+//! The full Table 2 regeneration with production budgets lives in
+//! `examples/table2_synthesis.rs`; this bench keeps a fixed small
+//! budget so the number is comparable across code changes.
+
+use astrx_oblx::bench_suite;
+use astrx_oblx::oblx::{synthesize, SynthesisOptions};
+use astrx_oblx::report::{eng, pair, TextTable};
+use astrx_oblx::verify::verify_result;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn print_short_run() {
+    let b = bench_suite::simple_ota();
+    let compiled = oblx_bench::compiled(&b);
+    let result = synthesize(
+        &compiled,
+        &SynthesisOptions {
+            moves_budget: oblx_bench::synthesis_budget(15_000),
+            seed: 1,
+            ..SynthesisOptions::default()
+        },
+    )
+    .expect("synthesis");
+    println!(
+        "\nSimple OTA short run: cost {:.3}, kcl {:.2e} A, {:.3} ms/eval (paper: 36 ms, 6 min/run)",
+        result.best_cost, result.kcl_max, result.ms_per_eval
+    );
+    if let Ok(v) = verify_result(&compiled, &result) {
+        let mut t = TextTable::new(vec!["goal", "spec(good)", "OBLX / simulation"]);
+        for ((name, p, s), goal) in v.rows.iter().zip(compiled.problem.specs.iter()) {
+            t.row(vec![name.clone(), eng(goal.good), pair(*p, *s)]);
+        }
+        println!("{}", t.render());
+        println!(
+            "worst prediction error {:.2}% (paper: 'match simulation almost exactly')\n",
+            100.0 * v.worst_relative_error()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_short_run();
+    let compiled = oblx_bench::compiled(&bench_suite::simple_ota());
+    let mut g = c.benchmark_group("table2_synthesis_run");
+    g.sample_size(10);
+    g.bench_function("simple_ota_2k_moves", |bench| {
+        bench.iter(|| {
+            let r = synthesize(
+                &compiled,
+                &SynthesisOptions {
+                    moves_budget: 2_000,
+                    seed: 11,
+                    quench_patience: 200,
+                    ..SynthesisOptions::default()
+                },
+            )
+            .expect("synthesis");
+            black_box(r.best_cost)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

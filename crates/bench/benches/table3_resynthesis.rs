@@ -1,0 +1,57 @@
+//! Table 3 — the novel folded cascode: per-evaluation cost (the paper's
+//! 83 ms row) and a budgeted re-synthesis printout against the manual
+//! design's numbers.
+
+use astrx_oblx::bench_suite;
+use astrx_oblx::cost::CostEvaluator;
+use astrx_oblx::oblx::{synthesize, SynthesisOptions};
+use astrx_oblx::report::{pair, TextTable};
+use astrx_oblx::verify::verify_result;
+use astrx_oblx::AdaptiveWeights;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn print_resynthesis() {
+    let b = bench_suite::novel_folded_cascode();
+    let compiled = oblx_bench::compiled(&b);
+    let result = synthesize(
+        &compiled,
+        &SynthesisOptions {
+            moves_budget: oblx_bench::synthesis_budget(15_000),
+            seed: 3,
+            ..SynthesisOptions::default()
+        },
+    )
+    .expect("synthesis");
+    println!(
+        "\nTable 3 short re-synthesis: cost {:.3}, kcl {:.2e} A, {:.3} ms/eval (paper: 83 ms, 116 min/run)",
+        result.best_cost, result.kcl_max, result.ms_per_eval
+    );
+    match verify_result(&compiled, &result) {
+        Ok(v) => {
+            let mut t = TextTable::new(vec!["attribute", "OBLX / simulation"]);
+            for (name, p, s) in &v.rows {
+                t.row(vec![name.clone(), pair(*p, *s)]);
+            }
+            println!("{}", t.render());
+        }
+        Err(e) => println!("verification failed at this budget: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_resynthesis();
+    let compiled = oblx_bench::compiled(&bench_suite::novel_folded_cascode());
+    let ev = CostEvaluator::new(&compiled);
+    let w = AdaptiveWeights::new(&compiled);
+    let user = compiled.initial_user_values();
+    let nodes = oblx_bench::newton_nodes(&compiled);
+    let mut g = c.benchmark_group("table3_novel_folded_cascode");
+    g.bench_function("cost_evaluation", |bench| {
+        bench.iter(|| black_box(ev.evaluate(black_box(&user), black_box(&nodes), &w).total))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,924 @@
+//! The §VI benchmark suite: seven circuit topologies that blanket the
+//! previously published analog synthesis results.
+//!
+//! Each benchmark carries its complete ASTRX description (topology,
+//! test jigs, bias circuit, variables, specifications) plus the
+//! corresponding row of the paper's Table 1 for shape comparison. The
+//! process decks are the representative stand-ins of
+//! [`oblx_devices::process`] (the paper's foundry decks are
+//! proprietary), so *absolute* numbers differ while the workload
+//! *structure* — device counts, variable counts, spec mixes — tracks
+//! the paper.
+
+use oblx_devices::process::ProcessDeck;
+use oblx_netlist::{parse_problem, ParseError, Problem};
+
+/// The paper's Table 1 row for a benchmark (for side-by-side reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperTable1 {
+    /// Netlist/model input lines.
+    pub netlist_lines: usize,
+    /// Synthesis-specific input lines.
+    pub synthesis_lines: usize,
+    /// User-supplied variables.
+    pub user_vars: usize,
+    /// Added node-voltage variables.
+    pub node_vars: usize,
+    /// Cost-function terms.
+    pub terms: usize,
+    /// Lines of generated C.
+    pub c_lines: usize,
+    /// Bias circuit (nodes, elements).
+    pub bias: (usize, usize),
+    /// First AWE circuit (nodes, elements).
+    pub awe: (usize, usize),
+}
+
+/// One benchmark circuit.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Display name (matches the paper's column heading).
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Process/model deck to synthesize against.
+    pub deck: ProcessDeck,
+    /// The ASTRX problem description (models come from the deck).
+    pub source: &'static str,
+    /// The paper's Table 1 row.
+    pub paper: PaperTable1,
+    /// The paper's CPU minutes per annealing run (Table 2/3), if
+    /// reported.
+    pub paper_cpu_minutes: Option<f64>,
+    /// The paper's per-evaluation time (ms), if reported.
+    pub paper_ms_per_eval: Option<f64>,
+}
+
+impl Benchmark {
+    /// Parses the description and attaches the deck's model cards.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError`] if the embedded source is malformed (a bug —
+    /// covered by tests).
+    pub fn problem(&self) -> Result<Problem, ParseError> {
+        self.problem_with_deck(self.deck)
+    }
+
+    /// Parses the description against an alternative process deck (the
+    /// §VI model-choice experiment).
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError`] as for [`Benchmark::problem`].
+    pub fn problem_with_deck(&self, deck: ProcessDeck) -> Result<Problem, ParseError> {
+        let mut p = parse_problem(self.source)?;
+        p.models.extend(deck.cards());
+        Ok(p)
+    }
+}
+
+/// All seven benchmarks, in the paper's column order.
+pub fn all() -> Vec<Benchmark> {
+    vec![
+        simple_ota(),
+        ota(),
+        two_stage(),
+        folded_cascode(),
+        comparator(),
+        bicmos_two_stage(),
+        novel_folded_cascode(),
+    ]
+}
+
+/// Looks up a benchmark by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    all()
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
+}
+
+/// Simple OTA: the 5-transistor transconductance amplifier plus tail
+/// mirror — the most-published synthesis benchmark.
+pub fn simple_ota() -> Benchmark {
+    Benchmark {
+        name: "Simple OTA",
+        description: "5T OTA with tail mirror, single-ended output",
+        deck: ProcessDeck::C2Bsim,
+        source: r#"
+.title simple ota
+.var W1 4u 400u log
+.var L1 2u 20u log
+.var W3 4u 400u log
+.var L3 2u 20u log
+.var W5 4u 400u log
+.var L5 2u 20u log
+.var IB 5u 1m log
+
+.subckt ota in+ in- out nvdd nvss
+m1 x1 in+ t nvss nmos w='W1' l='L1'
+m2 out in- t nvss nmos w='W1' l='L1'
+m3 x1 x1 nvdd nvdd pmos w='W3' l='L3'
+m4 out x1 nvdd nvdd pmos w='W3' l='L3'
+m5 t bg nvss nvss nmos w='W5' l='L5'
+m6 bg bg nvss nvss nmos w='W5' l='L5'
+ib nvdd bg 'IB'
+.ends
+
+.jig acjig
+xamp in+ in- out nvdd nvss ota
+vdd nvdd 0 5
+vss nvss 0 0
+vin in+ 0 2.5 ac 1
+vip in- 0 2.5
+cl out 0 1p
+.pz tf v(out) vin
+.endjig
+
+.jig vddjig
+xamp in+ in- out nvdd nvss ota
+vdd nvdd 0 5 ac 1
+vss nvss 0 0
+vin in+ 0 2.5
+vip in- 0 2.5
+cl out 0 1p
+.pz tfvdd v(out) vdd
+.endjig
+
+.jig vssjig
+xamp in+ in- out nvdd nvss ota
+vdd nvdd 0 5
+vss nvss 0 0 ac 1
+vin in+ 0 2.5
+vip in- 0 2.5
+cl out 0 1p
+.pz tfvss v(out) vss
+.endjig
+
+.bias
+xamp in+ in- out nvdd nvss ota
+vdd nvdd 0 5
+vss nvss 0 0
+vc1 in+ 0 2.5
+vc2 in- 0 2.5
+.endbias
+
+.obj adm 'db(dc_gain(tf))' good=40 bad=10
+.spec gbw 'ugf(tf)' good=50Meg bad=500k
+.spec pm 'phase_margin(tf)' good=60 bad=20
+.spec psrrvss 'db(dc_gain(tf))-db(dc_gain(tfvss))' good=20 bad=0
+.spec psrrvdd 'db(dc_gain(tf))-db(dc_gain(tfvdd))' good=20 bad=0
+.spec swing '5-xamp.m4.vdsat-xamp.m2.vdsat-xamp.m5.vdsat-0.4' good=2.3 bad=1
+.spec sr 'IB/(1p+xamp.m2.cd+xamp.m4.cd)' good=10Meg bad=100k
+.spec pwr 'power()' good=1m bad=10m
+.obj area 'area()' good=1n bad=100n
+"#,
+        paper: PaperTable1 {
+            netlist_lines: 30,
+            synthesis_lines: 28,
+            user_vars: 7,
+            node_vars: 14,
+            terms: 56,
+            c_lines: 1443,
+            bias: (20, 31),
+            awe: (20, 67),
+        },
+        paper_cpu_minutes: Some(6.0),
+        paper_ms_per_eval: Some(36.0),
+    }
+}
+
+/// OTA: the symmetrical (mirror) OTA — two extra mirror legs.
+pub fn ota() -> Benchmark {
+    Benchmark {
+        name: "OTA",
+        description: "symmetrical mirror OTA, single-ended output",
+        deck: ProcessDeck::C2Bsim,
+        source: r#"
+.title mirror ota
+.var W1 4u 400u log
+.var L1 2u 20u log
+.var W3 4u 400u log
+.var L3 2u 20u log
+.var W5 4u 400u log
+.var L5 2u 20u log
+.var W7 4u 400u log
+.var L7 2u 20u log
+.var W9 4u 400u log
+.var L9 2u 20u log
+.var IB 5u 1m log
+
+.subckt ota in+ in- out nvdd nvss
+m1 y1 in+ t nvss nmos w='W1' l='L1'
+m2 y2 in- t nvss nmos w='W1' l='L1'
+m3 y1 y1 nvdd nvdd pmos w='W3' l='L3'
+m4 y2 y2 nvdd nvdd pmos w='W3' l='L3'
+m5 z y1 nvdd nvdd pmos w='W5' l='L5'
+m6 out y2 nvdd nvdd pmos w='W5' l='L5'
+m7 z z nvss nvss nmos w='W7' l='L7'
+m8 out z nvss nvss nmos w='W7' l='L7'
+m9 t bg nvss nvss nmos w='W9' l='L9'
+m10 bg bg nvss nvss nmos w='W9' l='L9'
+ib nvdd bg 'IB'
+.ends
+
+.jig acjig
+xamp in+ in- out nvdd nvss ota
+vdd nvdd 0 5
+vss nvss 0 0
+vin in+ 0 2.5 ac 1
+vip in- 0 2.5
+cl out 0 1p
+.pz tf v(out) vin
+.endjig
+
+.jig vddjig
+xamp in+ in- out nvdd nvss ota
+vdd nvdd 0 5 ac 1
+vss nvss 0 0
+vin in+ 0 2.5
+vip in- 0 2.5
+cl out 0 1p
+.pz tfvdd v(out) vdd
+.endjig
+
+.jig vssjig
+xamp in+ in- out nvdd nvss ota
+vdd nvdd 0 5
+vss nvss 0 0 ac 1
+vin in+ 0 2.5
+vip in- 0 2.5
+cl out 0 1p
+.pz tfvss v(out) vss
+.endjig
+
+.bias
+xamp in+ in- out nvdd nvss ota
+vdd nvdd 0 5
+vss nvss 0 0
+vc1 in+ 0 2.5
+vc2 in- 0 2.5
+.endbias
+
+.obj adm 'db(dc_gain(tf))' good=40 bad=10
+.spec gbw 'ugf(tf)' good=25Meg bad=250k
+.spec pm 'phase_margin(tf)' good=45 bad=15
+.spec psrrvss 'db(dc_gain(tf))-db(dc_gain(tfvss))' good=40 bad=0
+.spec psrrvdd 'db(dc_gain(tf))-db(dc_gain(tfvdd))' good=40 bad=0
+.spec swing '5-xamp.m6.vdsat-xamp.m8.vdsat-0.4' good=2.5 bad=1
+.spec sr '2*IB/(1p+xamp.m6.cd+xamp.m8.cd)' good=10Meg bad=100k
+.spec pwr 'power()' good=1m bad=10m
+.obj area 'area()' good=0.9n bad=90n
+"#,
+        paper: PaperTable1 {
+            netlist_lines: 34,
+            synthesis_lines: 33,
+            user_vars: 11,
+            node_vars: 24,
+            terms: 85,
+            c_lines: 1809,
+            bias: (28, 49),
+            awe: (29, 114),
+        },
+        paper_cpu_minutes: Some(9.0),
+        paper_ms_per_eval: Some(37.0),
+    }
+}
+
+/// Two-Stage: the Miller-compensated two-stage op-amp.
+pub fn two_stage() -> Benchmark {
+    Benchmark {
+        name: "Two-Stage",
+        description: "Miller-compensated two-stage op-amp",
+        deck: ProcessDeck::C2Bsim,
+        source: r#"
+.title two-stage miller opamp
+.var W1 4u 400u log
+.var L1 2u 20u log
+.var W3 4u 400u log
+.var L3 2u 20u log
+.var W6 4u 800u log
+.var L6 2u 20u log
+.var W7 4u 800u log
+.var L7 2u 20u log
+.var W8 4u 400u log
+.var L8 2u 20u log
+.var IB 5u 1m log
+.var CC 0.5p 30p log
+
+.subckt opamp in+ in- out nvdd nvss
+m1 y1 in+ t nvss nmos w='W1' l='L1'
+m2 y2 in- t nvss nmos w='W1' l='L1'
+m3 y1 y1 nvdd nvdd pmos w='W3' l='L3'
+m4 y2 y1 nvdd nvdd pmos w='W3' l='L3'
+m6 out y2 nvdd nvdd pmos w='W6' l='L6'
+m7 out bg nvss nvss nmos w='W7' l='L7'
+m8 t bg nvss nvss nmos w='W8' l='L8'
+m9 bg bg nvss nvss nmos w='W8' l='L8'
+ib nvdd bg 'IB'
+cc out y2 'CC'
+.ends
+
+.jig acjig
+xamp in+ in- out nvdd nvss opamp
+vdd nvdd 0 5
+vss nvss 0 0
+vin in+ 0 2.5 ac 1
+vip in- 0 2.5
+cl out 0 1p
+.pz tf v(out) vin
+.endjig
+
+.jig vddjig
+xamp in+ in- out nvdd nvss opamp
+vdd nvdd 0 5 ac 1
+vss nvss 0 0
+vin in+ 0 2.5
+vip in- 0 2.5
+cl out 0 1p
+.pz tfvdd v(out) vdd
+.endjig
+
+.jig vssjig
+xamp in+ in- out nvdd nvss opamp
+vdd nvdd 0 5
+vss nvss 0 0 ac 1
+vin in+ 0 2.5
+vip in- 0 2.5
+cl out 0 1p
+.pz tfvss v(out) vss
+.endjig
+
+.bias
+xamp in+ in- out nvdd nvss opamp
+vdd nvdd 0 5
+vss nvss 0 0
+vc1 in+ 0 2.5
+vc2 in- 0 2.5
+.endbias
+
+.obj adm 'db(dc_gain(tf))' good=60 bad=20
+.spec gbw 'ugf(tf)' good=10Meg bad=100k
+.spec pm 'phase_margin(tf)' good=45 bad=15
+.spec psrrvss 'db(dc_gain(tf))-db(dc_gain(tfvss))' good=20 bad=0
+.spec psrrvdd 'db(dc_gain(tf))-db(dc_gain(tfvdd))' good=40 bad=0
+.spec swing '5-xamp.m6.vdsat-xamp.m7.vdsat-0.4' good=2 bad=0.8
+.spec sr 'min(IB/(CC+1f), 2*IB/(1p+xamp.m6.cd+xamp.m7.cd))' good=2Meg bad=20k
+.spec pwr 'power()' good=1m bad=10m
+.obj area 'area()' good=2.1n bad=210n
+"#,
+        paper: PaperTable1 {
+            netlist_lines: 43,
+            synthesis_lines: 40,
+            user_vars: 19,
+            node_vars: 26,
+            terms: 88,
+            c_lines: 1894,
+            bias: (34, 54),
+            awe: (33, 118),
+        },
+        paper_cpu_minutes: Some(16.0),
+        paper_ms_per_eval: Some(38.0),
+    }
+}
+
+/// Folded Cascode: p-input folded cascode with cascoded mirror load.
+pub fn folded_cascode() -> Benchmark {
+    Benchmark {
+        name: "Folded Cascode",
+        description: "p-input folded cascode, cascoded mirror load",
+        deck: ProcessDeck::C2Bsim,
+        source: r#"
+.title folded cascode opamp
+.var W1 8u 800u log
+.var L1 2u 20u log
+.var WT 8u 800u log
+.var LT 2u 20u log
+.var W5 4u 400u log
+.var L5 2u 20u log
+.var W3 4u 400u log
+.var L3 2u 20u log
+.var W9 4u 400u log
+.var L9 2u 20u log
+.var W7 4u 400u log
+.var L7 2u 20u log
+.var IB 10u 2m log
+.var VBN2 0.8 2.5 lin cont
+.var VBP2 2.5 4.2 lin cont
+
+.subckt fc in+ in- out nvdd nvss
+* p input pair and tail
+mt tp bp nvdd nvdd pmos w='WT' l='LT'
+m1 f1 in+ tp nvdd pmos w='W1' l='L1'
+m2 f2 in- tp nvdd pmos w='W1' l='L1'
+* tail reference
+mr bp bp nvdd nvdd pmos w='WT' l='LT'
+ir bp nvss 'IB'
+* n current sinks at the fold nodes
+m5 f1 bn1 nvss nvss nmos w='W5' l='L5'
+m6 f2 bn1 nvss nvss nmos w='W5' l='L5'
+* sink bias reference
+mn bn1 bn1 nvss nvss nmos w='W5' l='L5'
+in nvdd bn1 'IB'
+* n cascodes
+m3 c1 vn2 f1 nvss nmos w='W3' l='L3'
+m4 out vn2 f2 nvss nmos w='W3' l='L3'
+* cascoded p mirror on top
+m9 y9 c1 nvdd nvdd pmos w='W9' l='L9'
+m10 y10 c1 nvdd nvdd pmos w='W9' l='L9'
+m7 c1 vp2 y9 nvdd pmos w='W7' l='L7'
+m8 out vp2 y10 nvdd pmos w='W7' l='L7'
+* cascode gate biases (designed voltages)
+vbn2 vn2 0 'VBN2'
+vbp2 vp2 0 'VBP2'
+.ends
+
+.jig acjig
+xamp in+ in- out nvdd nvss fc
+vdd nvdd 0 5
+vss nvss 0 0
+vin in+ 0 2.5 ac 1
+vip in- 0 2.5
+cl out 0 1.25p
+.pz tf v(out) vin
+.endjig
+
+.jig vddjig
+xamp in+ in- out nvdd nvss fc
+vdd nvdd 0 5 ac 1
+vss nvss 0 0
+vin in+ 0 2.5
+vip in- 0 2.5
+cl out 0 1.25p
+.pz tfvdd v(out) vdd
+.endjig
+
+.jig vssjig
+xamp in+ in- out nvdd nvss fc
+vdd nvdd 0 5
+vss nvss 0 0 ac 1
+vin in+ 0 2.5
+vip in- 0 2.5
+cl out 0 1.25p
+.pz tfvss v(out) vss
+.endjig
+
+.bias
+xamp in+ in- out nvdd nvss fc
+vdd nvdd 0 5
+vss nvss 0 0
+vc1 in+ 0 2.5
+vc2 in- 0 2.5
+.endbias
+
+.spec adm 'db(dc_gain(tf))' good=70 bad=30
+.obj gbw 'ugf(tf)' good=70Meg bad=500k
+.spec pm 'phase_margin(tf)' good=60 bad=20
+.spec psrrvss 'db(dc_gain(tf))-db(dc_gain(tfvss))' good=40 bad=0
+.spec psrrvdd 'db(dc_gain(tf))-db(dc_gain(tfvdd))' good=40 bad=0
+.spec swing '5-xamp.m8.vdsat-xamp.m10.vdsat-xamp.m4.vdsat-xamp.m6.vdsat-0.4' good=2 bad=0.8
+.spec sr 'IB/(1.25p+xamp.m4.cd+xamp.m8.cd)' good=50Meg bad=500k
+.spec pwr 'power()' good=15m bad=60m
+.obj area 'area()' good=46n bad=4600n
+"#,
+        paper: PaperTable1 {
+            netlist_lines: 65,
+            synthesis_lines: 56,
+            user_vars: 28,
+            node_vars: 70,
+            terms: 212,
+            c_lines: 3408,
+            bias: (75, 138),
+            awe: (75, 324),
+        },
+        paper_cpu_minutes: Some(120.0),
+        paper_ms_per_eval: Some(116.0),
+    }
+}
+
+/// Comparator: a three-stage open-loop comparator (the paper's large
+/// benchmark from the companion CICC paper, reduced to its linear
+/// measurement set).
+pub fn comparator() -> Benchmark {
+    Benchmark {
+        name: "Comparator",
+        description: "three-stage open-loop comparator",
+        deck: ProcessDeck::C2Bsim,
+        source: r#"
+.title three-stage comparator
+.var W1 4u 400u log
+.var L1 2u 20u log
+.var W3 4u 400u log
+.var L3 2u 20u log
+.var W5 4u 400u log
+.var L5 2u 20u log
+.var W6 4u 800u log
+.var L6 2u 20u log
+.var W8 4u 800u log
+.var L8 2u 20u log
+.var W9 4u 800u log
+.var L9 2u 20u log
+.var WT 4u 400u log
+.var LT 2u 20u log
+.var IB 5u 1m log
+
+.subckt cmp in+ in- out nvdd nvss
+* stage 1: 5T OTA
+m1 x1 in+ t1 nvss nmos w='W1' l='L1'
+m2 o1 in- t1 nvss nmos w='W1' l='L1'
+m3 x1 x1 nvdd nvdd pmos w='W3' l='L3'
+m4 o1 x1 nvdd nvdd pmos w='W3' l='L3'
+mt1 t1 bg nvss nvss nmos w='WT' l='LT'
+* stage 2: second diff pair taking o1 against a replica reference
+m5 x2 o1 t2 nvss nmos w='W5' l='L5'
+m5b o2 ref t2 nvss nmos w='W5' l='L5'
+m6 x2 x2 nvdd nvdd pmos w='W6' l='L6'
+m6b o2 x2 nvdd nvdd pmos w='W6' l='L6'
+mt2 t2 bg nvss nvss nmos w='WT' l='LT'
+* replica reference: diode-loaded half stage sets the trip point
+mrp ref ref nvdd nvdd pmos w='W3' l='L3'
+mrn ref bg nvss nvss nmos w='WT' l='LT'
+* stage 3: class-A output
+m8 out o2 nvdd nvdd pmos w='W8' l='L8'
+m9 out bg nvss nvss nmos w='W9' l='L9'
+* bias mirror
+mb bg bg nvss nvss nmos w='WT' l='LT'
+ib nvdd bg 'IB'
+.ends
+
+.jig acjig
+xamp in+ in- out nvdd nvss cmp
+vdd nvdd 0 5
+vss nvss 0 0
+vin in+ 0 2.5 ac 1
+vip in- 0 2.5
+cl out 0 0.5p
+.pz tf v(out) vin
+.endjig
+
+.jig vddjig
+xamp in+ in- out nvdd nvss cmp
+vdd nvdd 0 5 ac 1
+vss nvss 0 0
+vin in+ 0 2.5
+vip in- 0 2.5
+cl out 0 0.5p
+.pz tfvdd v(out) vdd
+.endjig
+
+.bias
+xamp in+ in- out nvdd nvss cmp
+vdd nvdd 0 5
+vss nvss 0 0
+vc1 in+ 0 2.5
+vc2 in- 0 2.5
+.endbias
+
+.obj gain 'db(dc_gain(tf))' good=80 bad=30
+.spec bw 'pole(tf,1)' good=10Meg bad=100k
+.spec psrrvdd 'db(dc_gain(tf))-db(dc_gain(tfvdd))' good=20 bad=0
+.spec pwr 'power()' good=5m bad=50m
+.obj area 'area()' good=5n bad=500n
+"#,
+        paper: PaperTable1 {
+            netlist_lines: 131,
+            synthesis_lines: 68,
+            user_vars: 19,
+            node_vars: 57,
+            terms: 169,
+            c_lines: 3088,
+            bias: (65, 126),
+            awe: (63, 265),
+        },
+        paper_cpu_minutes: None,
+        paper_ms_per_eval: None,
+    }
+}
+
+/// BiCMOS Two-Stage: MOS input pair, bipolar second stage.
+pub fn bicmos_two_stage() -> Benchmark {
+    Benchmark {
+        name: "BiCMOS Two-Stage",
+        description: "MOS diff input, npn common-emitter second stage",
+        deck: ProcessDeck::BicmosC2,
+        source: r#"
+.title bicmos two-stage
+.var W1 4u 400u log
+.var L1 2u 20u log
+.var W3 4u 400u log
+.var L3 2u 20u log
+.var W6 4u 800u log
+.var L6 2u 20u log
+.var WT 4u 800u log
+.var LT 2u 20u log
+.var AQ 1 40 log
+.var IB 5u 1m log
+.var CC 0.5p 30p log
+
+.subckt bic in+ in- out nvdd nvss
+* p-input first stage with nmos mirror load, so the second-stage npn
+* base (y2) naturally sits near one vbe above ground
+mt t pb nvdd nvdd pmos w='WT' l='LT'
+m1 y1 in+ t nvdd pmos w='W1' l='L1'
+m2 y2 in- t nvdd pmos w='W1' l='L1'
+m3 y1 y1 nvss nvss nmos w='W3' l='L3'
+m4 y2 y1 nvss nvss nmos w='W3' l='L3'
+* npn common-emitter second stage with pmos current-source load
+q1 out y2 nvss npn area='AQ'
+m6 out pb nvdd nvdd pmos w='W6' l='L6'
+* shared pmos bias reference
+mpd pb pb nvdd nvdd pmos w='WT' l='LT'
+ipd pb nvss 'IB'
+cc out y2 'CC'
+.ends
+
+.jig acjig
+xamp in+ in- out nvdd nvss bic
+vdd nvdd 0 5
+vss nvss 0 0
+vin in+ 0 2.5 ac 1
+vip in- 0 2.5
+cl out 0 1p
+.pz tf v(out) vin
+.endjig
+
+.jig vddjig
+xamp in+ in- out nvdd nvss bic
+vdd nvdd 0 5 ac 1
+vss nvss 0 0
+vin in+ 0 2.5
+vip in- 0 2.5
+cl out 0 1p
+.pz tfvdd v(out) vdd
+.endjig
+
+.jig vssjig
+xamp in+ in- out nvdd nvss bic
+vdd nvdd 0 5
+vss nvss 0 0 ac 1
+vin in+ 0 2.5
+vip in- 0 2.5
+cl out 0 1p
+.pz tfvss v(out) vss
+.endjig
+
+.bias
+xamp in+ in- out nvdd nvss bic
+vdd nvdd 0 5
+vss nvss 0 0
+vc1 in+ 0 2.5
+vc2 in- 0 2.5
+.endbias
+
+.obj adm 'db(dc_gain(tf))' good=90 bad=30
+.spec gbw 'ugf(tf)' good=50Meg bad=500k
+.spec pm 'phase_margin(tf)' good=45 bad=15
+.spec psrrvss 'db(dc_gain(tf))-db(dc_gain(tfvss))' good=60 bad=0
+.spec psrrvdd 'db(dc_gain(tf))-db(dc_gain(tfvdd))' good=40 bad=0
+.spec swing '5-xamp.m6.vdsat-0.5' good=2 bad=0.8
+.spec sr 'min(IB/(CC+1f), 2*IB/(1p+xamp.m6.cd))' good=10Meg bad=100k
+.spec pwr 'power()' good=20m bad=100m
+.obj area 'area()' good=11.9n bad=1190n
+"#,
+        paper: PaperTable1 {
+            netlist_lines: 39,
+            synthesis_lines: 33,
+            user_vars: 12,
+            node_vars: 26,
+            terms: 86,
+            c_lines: 1723,
+            bias: (33, 54),
+            awe: (32, 105),
+        },
+        paper_cpu_minutes: Some(12.0),
+        paper_ms_per_eval: Some(38.0),
+    }
+}
+
+/// Novel Folded Cascode: the fully differential folded cascode with
+/// cross-coupled positive-feedback loads and resistive CMFB, after
+/// Nakamura & Carley — the paper's "no textbook equations exist"
+/// stress test.
+pub fn novel_folded_cascode() -> Benchmark {
+    Benchmark {
+        name: "Novel Folded Cascode",
+        description: "fully differential folded cascode with positive-feedback loads",
+        deck: ProcessDeck::C2Bsim,
+        source: r#"
+.title novel folded cascode (positive-feedback loads)
+.var W1 8u 800u log
+.var L1 2u 20u log
+.var WT 8u 800u log
+.var LT 2u 20u log
+.var W5 4u 400u log
+.var L5 2u 20u log
+.var W3 4u 400u log
+.var L3 2u 20u log
+.var W9 4u 400u log
+.var L9 2u 20u log
+.var W7 4u 400u log
+.var L7 2u 20u log
+.var WX 4u 200u log
+.var LX 2u 20u log
+.var IB 10u 2m log
+.var VBN2 0.8 2.5 lin cont
+.var VBP2 2.5 4.2 lin cont
+
+.subckt nfc in+ in- out+ out- nvdd nvss
+* p input pair and tail
+mt tp bp nvdd nvdd pmos w='WT' l='LT'
+m1 f1 in+ tp nvdd pmos w='W1' l='L1'
+m2 f2 in- tp nvdd pmos w='W1' l='L1'
+mr bp bp nvdd nvdd pmos w='WT' l='LT'
+ir bp nvss 'IB'
+* n sinks at fold nodes, gates on the CMFB node
+m5 f1 cmfb nvss nvss nmos w='W5' l='L5'
+m6 f2 cmfb nvss nvss nmos w='W5' l='L5'
+* CMFB: diode reference plus resistive common-mode sense
+mcf cmfb cmfb nvss nvss nmos w='W5' l='L5'
+icf nvdd cmfb 'IB'
+rc1 out+ cmfb 1meg
+rc2 out- cmfb 1meg
+* n cascodes to the differential outputs
+m3 out- vn2 f1 nvss nmos w='W3' l='L3'
+m4 out+ vn2 f2 nvss nmos w='W3' l='L3'
+* p cascode current sources
+m9 y9 vbpt nvdd nvdd pmos w='W9' l='L9'
+m10 y10 vbpt nvdd nvdd pmos w='W9' l='L9'
+m7 out- vp2 y9 nvdd pmos w='W7' l='L7'
+m8 out+ vp2 y10 nvdd pmos w='W7' l='L7'
+* top-source gate bias from a replica diode
+mrp vbpt vbpt nvdd nvdd pmos w='W9' l='L9'
+irp vbpt nvss 'IB'
+* positive-feedback cross-coupled pair (the novel load)
+mx1 out- out+ nvdd nvdd pmos w='WX' l='LX'
+mx2 out+ out- nvdd nvdd pmos w='WX' l='LX'
+* cascode gate biases
+vbn2 vn2 0 'VBN2'
+vbp2 vp2 0 'VBP2'
+.ends
+
+.jig acjig
+xamp in+ in- out+ out- nvdd nvss nfc
+vdd nvdd 0 5
+vss nvss 0 0
+vin in+ 0 0 ac 1
+ein in- 0 0 in+ 1
+cl1 out+ 0 1p
+cl2 out- 0 1p
+.pz tf v(out+,out-) vin
+.endjig
+
+.jig vddjig
+xamp in+ in- out+ out- nvdd nvss nfc
+vdd nvdd 0 5 ac 1
+vss nvss 0 0
+vin in+ 0 2.5
+vip in- 0 2.5
+cl1 out+ 0 1p
+cl2 out- 0 1p
+.pz tfvdd v(out+,out-) vdd
+.endjig
+
+.jig vssjig
+xamp in+ in- out+ out- nvdd nvss nfc
+vdd nvdd 0 5
+vss nvss 0 0 ac 1
+vin in+ 0 2.5
+vip in- 0 2.5
+cl1 out+ 0 1p
+cl2 out- 0 1p
+.pz tfvss v(out+,out-) vss
+.endjig
+
+.bias
+xamp in+ in- out+ out- nvdd nvss nfc
+vdd nvdd 0 5
+vss nvss 0 0
+vc1 in+ 0 2.5
+vc2 in- 0 2.5
+.endbias
+
+.spec adm 'db(dc_gain(tf))' good=71.2 bad=30
+.obj gbw 'ugf(tf)' good=47.8Meg bad=500k
+.spec pm 'phase_margin(tf)' good=60 bad=20
+.spec psrrvss 'db(dc_gain(tf))-db(dc_gain(tfvss))' good=93 bad=10
+.spec psrrvdd 'db(dc_gain(tf))-db(dc_gain(tfvdd))' good=73 bad=10
+.spec swing '5-xamp.m8.vdsat-xamp.m10.vdsat-xamp.m4.vdsat-xamp.m6.vdsat-0.4' good=2.8 bad=1
+.spec sr 'IB/(1p+xamp.m4.cd+xamp.m8.cd+xamp.mx1.cd)' good=76Meg bad=760k
+.spec pwr 'power()' good=25m bad=100m
+.obj area 'area()' good=68.7n bad=6870n
+"#,
+        paper: PaperTable1 {
+            netlist_lines: 68,
+            synthesis_lines: 51,
+            user_vars: 27,
+            node_vars: 84,
+            terms: 246,
+            c_lines: 3960,
+            bias: (90, 167),
+            awe: (90, 395),
+        },
+        paper_cpu_minutes: Some(116.0),
+        paper_ms_per_eval: Some(83.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblx_devices::ModelLibrary;
+    use oblx_mna::SizedCircuit;
+    use std::collections::HashMap;
+
+    #[test]
+    fn all_benchmarks_parse() {
+        for b in all() {
+            let p = b.problem().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(!p.jigs.is_empty(), "{}", b.name);
+            assert!(!p.bias.is_empty(), "{}", b.name);
+            assert!(!p.specs.is_empty(), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(by_name("simple ota").is_some());
+        assert!(by_name("Novel Folded Cascode").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn device_counts_track_paper_complexity_order() {
+        // Device counts must increase from Simple OTA through the
+        // Novel Folded Cascode, mirroring Table 1's complexity spread.
+        let mut counts = Vec::new();
+        for b in [
+            simple_ota(),
+            ota(),
+            folded_cascode(),
+            novel_folded_cascode(),
+        ] {
+            let p = b.problem().unwrap();
+            let lib = ModelLibrary::from_cards(&p.models).unwrap();
+            let vars: HashMap<String, f64> = p
+                .vars
+                .iter()
+                .map(|v| (v.name.clone(), v.default_initial()))
+                .collect();
+            let flat = p.bias.flatten(&p.subckts).unwrap();
+            let ckt = SizedCircuit::build(&flat, &vars, &lib).unwrap();
+            counts.push((b.name, ckt.mosfets.len() + ckt.bjts.len()));
+        }
+        for pair in counts.windows(2) {
+            assert!(
+                pair[1].1 > pair[0].1,
+                "{:?} should have more devices than {:?}",
+                pair[1],
+                pair[0]
+            );
+        }
+    }
+
+    #[test]
+    fn user_var_counts_match_declarations() {
+        for b in all() {
+            let p = b.problem().unwrap();
+            assert!(
+                p.vars.len() >= 7,
+                "{}: too few variables ({})",
+                b.name,
+                p.vars.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bicmos_uses_bjt() {
+        let p = bicmos_two_stage().problem().unwrap();
+        let lib = ModelLibrary::from_cards(&p.models).unwrap();
+        assert!(lib.bjt("npn").is_ok());
+        let flat = p.bias.flatten(&p.subckts).unwrap();
+        let vars: HashMap<String, f64> = p
+            .vars
+            .iter()
+            .map(|v| (v.name.clone(), v.default_initial()))
+            .collect();
+        let ckt = SizedCircuit::build(&flat, &vars, &lib).unwrap();
+        assert_eq!(ckt.bjts.len(), 1);
+    }
+
+    #[test]
+    fn model_experiment_decks_swap() {
+        let b = simple_ota();
+        for deck in [
+            ProcessDeck::C2Bsim,
+            ProcessDeck::C12Bsim,
+            ProcessDeck::C12Level3,
+        ] {
+            let p = b.problem_with_deck(deck).unwrap();
+            let lib = ModelLibrary::from_cards(&p.models).unwrap();
+            assert!(lib.mos("nmos").is_ok(), "{}", deck.label());
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! `astrx` — the command-line front end.
+//!
+//! ```text
+//! astrx compile <file.ox> [--emit-c]        analyze a description
+//! astrx synth <file.ox> [--moves N] [--seeds a,b,c] [--corners] [--yield]
+//! astrx bench <name> [same options]         run a built-in benchmark
+//! astrx list                                list built-in benchmarks
+//! ```
+
+use astrx_oblx::oblx::{fixed_cost, synthesize, SynthesisOptions, SynthesisResult};
+use astrx_oblx::report::{eng, pair, TextTable};
+use astrx_oblx::verify::verify_result;
+use astrx_oblx::{bench_suite, corners, CompiledProblem};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  astrx compile <file.ox> [--emit-c]\n  astrx synth <file.ox> \
+         [--moves N] [--seeds a,b,c] [--corners] [--yield]\n  astrx bench <name> [--moves N] \
+         [--seeds a,b,c]\n  astrx list"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return usage();
+    };
+    let rest: Vec<&String> = it.collect();
+    match cmd.as_str() {
+        "compile" => cmd_compile(&rest),
+        "synth" => cmd_synth(&rest, None),
+        "bench" => {
+            let Some(name) = rest.first() else {
+                return usage();
+            };
+            let Some(b) = bench_suite::by_name(name) else {
+                eprintln!("unknown benchmark `{name}` — try `astrx list`");
+                return ExitCode::FAILURE;
+            };
+            cmd_synth(&rest[1..], Some(b))
+        }
+        "list" => {
+            for b in bench_suite::all() {
+                println!("{:<22} {}", b.name, b.description);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn flag(rest: &[&String], name: &str) -> bool {
+    rest.iter().any(|a| a.as_str() == name)
+}
+
+fn opt<'a>(rest: &'a [&String], name: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| a.as_str() == name)
+        .and_then(|i| rest.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn load(rest: &[&String]) -> Result<CompiledProblem, String> {
+    let Some(path) = rest.iter().find(|a| !a.starts_with("--")) else {
+        return Err("no input file given".into());
+    };
+    let source = std::fs::read_to_string(path.as_str()).map_err(|e| format!("{path}: {e}"))?;
+    astrx_oblx::astrx::compile_source(&source).map_err(|e| format!("{path}: {e}"))
+}
+
+fn print_stats(compiled: &CompiledProblem) {
+    let s = &compiled.stats;
+    println!("ASTRX analysis:");
+    println!(
+        "  input lines         : {} netlist + {} synthesis-specific",
+        s.netlist_lines, s.synthesis_lines
+    );
+    println!("  user variables      : {}", s.user_vars);
+    println!("  relaxed-dc nodes    : {}", s.node_vars);
+    println!("  cost-function terms : {}", s.terms);
+    println!("  equivalent C lines  : {}", s.c_lines);
+    println!(
+        "  bias circuit        : {} nodes, {} elements",
+        s.bias_size.0, s.bias_size.1
+    );
+    for (i, (n, e)) in s.awe_sizes.iter().enumerate() {
+        println!("  awe circuit #{i}      : {n} nodes, {e} elements");
+    }
+}
+
+fn cmd_compile(rest: &[&String]) -> ExitCode {
+    match load(rest) {
+        Ok(compiled) => {
+            print_stats(&compiled);
+            if flag(rest, "--emit-c") {
+                println!("\n{}", astrx_oblx::emit::emit_c(&compiled));
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_synth(rest: &[&String], benchmark: Option<bench_suite::Benchmark>) -> ExitCode {
+    let compiled = match benchmark {
+        Some(b) => match b
+            .problem()
+            .map_err(|e| e.to_string())
+            .and_then(|p| astrx_oblx::astrx::compile(p).map_err(|e| e.to_string()))
+        {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => match load(rest) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    print_stats(&compiled);
+
+    let moves: usize = opt(rest, "--moves")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60_000);
+    let seeds: Vec<u64> = opt(rest, "--seeds")
+        .map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 2, 3]);
+
+    println!("\nOBLX: {} moves × {} seed(s)…", moves, seeds.len());
+    let mut best: Option<(f64, SynthesisResult)> = None;
+    for seed in seeds {
+        let r = match synthesize(
+            &compiled,
+            &SynthesisOptions {
+                moves_budget: moves,
+                seed,
+                ..SynthesisOptions::default()
+            },
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("seed {seed}: {e}");
+                continue;
+            }
+        };
+        let score = fixed_cost(&compiled, &r.state);
+        println!(
+            "  seed {seed}: cost {:.3}, kcl {:.2e} A, {:.1} s",
+            score, r.kcl_max, r.wall_seconds
+        );
+        if best.as_ref().is_none_or(|(s, _)| score < *s) {
+            best = Some((score, r));
+        }
+    }
+    let Some((_, result)) = best else {
+        eprintln!("error: every seed failed");
+        return ExitCode::FAILURE;
+    };
+
+    println!("\nDesign variables:");
+    for (name, value) in &result.variables {
+        println!("  {name:<8} = {}", eng(*value));
+    }
+    match verify_result(&compiled, &result) {
+        Ok(v) => {
+            let mut t = TextTable::new(vec!["goal", "OBLX / simulation"]);
+            for (name, p, s) in &v.rows {
+                t.row(vec![name.clone(), pair(*p, *s)]);
+            }
+            println!("\n{}", t.render());
+            println!(
+                "worst prediction error {:.2}%  power {}  area {} m^2",
+                100.0 * v.worst_relative_error(),
+                eng(v.power),
+                eng(v.area)
+            );
+        }
+        Err(e) => eprintln!("verification failed: {e}"),
+    }
+
+    if flag(rest, "--yield") {
+        println!("\nMonte-Carlo mismatch yield (60 samples, A_vt = 25 mV*um):");
+        match astrx_oblx::yield_mc::yield_mc(
+            &compiled,
+            &result.state,
+            &astrx_oblx::yield_mc::YieldOptions::default(),
+        ) {
+            Ok(y) => {
+                println!(
+                    "  yield {:.1}%  ({} passed / {} samples, {} bias failures)",
+                    100.0 * y.yield_fraction(),
+                    y.passed,
+                    y.samples,
+                    y.bias_failures
+                );
+                for (goal, fails) in &y.failures_by_goal {
+                    if *fails > 0 {
+                        println!("  {goal}: {fails} failures");
+                    }
+                }
+            }
+            Err(e) => eprintln!("yield analysis failed: {e}"),
+        }
+    }
+
+    if flag(rest, "--corners") {
+        println!("\nOperating corners:");
+        match corners::verify_corners(
+            &compiled,
+            &result.state,
+            &result.measured,
+            &corners::standard_corners(),
+        ) {
+            Ok(results) => {
+                let mut t = TextTable::new(vec!["corner", "goal", "simulated"]);
+                for cr in &results {
+                    for (name, _, sim) in &cr.verified.rows {
+                        t.row(vec![cr.name.to_string(), name.clone(), eng(*sim)]);
+                    }
+                }
+                println!("{}", t.render());
+            }
+            Err(e) => eprintln!("corner analysis failed: {e}"),
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,254 @@
+//! Operating-corner verification — the paper's stated "highest
+//! priority for future effort": checking a synthesized design's
+//! performance *over varying operating conditions*, which the manual
+//! designer of Table 3 traded nominal performance for.
+//!
+//! A [`Corner`] perturbs the device-model parameter deck (slow/fast
+//! carrier mobility, threshold-voltage shifts) the way foundry corner
+//! files do; [`verify_corners`] re-runs the full simulator-side
+//! verification at each corner and reports the spread.
+
+use crate::astrx::CompiledProblem;
+use crate::cost::EvalFailure;
+use crate::oblx::OblxState;
+use crate::verify::{verify_design, VerifiedDesign};
+use oblx_devices::ModelLibrary;
+use oblx_netlist::ModelCard;
+
+/// A process corner: multiplicative/additive perturbations applied to
+/// every MOS model card (and proportionally to bipolar `bf`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Corner {
+    /// Display name (`tt`, `ss`, `ff`, …).
+    pub name: &'static str,
+    /// Multiplier on carrier mobility / transconductance (`kp`, `u0`,
+    /// and bipolar `bf`).
+    pub gain_scale: f64,
+    /// Additive shift on threshold magnitude (V): positive = slower.
+    pub vth_shift: f64,
+}
+
+/// The classic five-corner set (typical, slow, fast, and the two
+/// skewed corners).
+pub fn standard_corners() -> Vec<Corner> {
+    vec![
+        Corner {
+            name: "tt",
+            gain_scale: 1.0,
+            vth_shift: 0.0,
+        },
+        Corner {
+            name: "ss",
+            gain_scale: 0.85,
+            vth_shift: 0.05,
+        },
+        Corner {
+            name: "ff",
+            gain_scale: 1.15,
+            vth_shift: -0.05,
+        },
+        Corner {
+            name: "sf",
+            gain_scale: 0.925,
+            vth_shift: -0.025,
+        },
+        Corner {
+            name: "fs",
+            gain_scale: 1.075,
+            vth_shift: 0.025,
+        },
+    ]
+}
+
+/// Applies a corner to one model card.
+fn perturb_card(card: &ModelCard, corner: &Corner) -> ModelCard {
+    let mut out = card.clone();
+    let scale = |p: &mut std::collections::HashMap<String, f64>, key: &str, f: f64| {
+        if let Some(v) = p.get_mut(key) {
+            *v *= f;
+        }
+    };
+    match card.kind.as_str() {
+        "nmos" | "pmos" => {
+            scale(&mut out.params, "kp", corner.gain_scale);
+            scale(&mut out.params, "u0", corner.gain_scale);
+            // Threshold: |vto| grows when slow. NMOS vto > 0, PMOS
+            // vto < 0 on the card (SPICE convention).
+            if let Some(v) = out.params.get_mut("vto") {
+                *v += corner.vth_shift * v.signum();
+            }
+            // BSIM-style cards encode the threshold via vfb (more
+            // negative = higher NMOS vth in the normalized frame).
+            if let Some(v) = out.params.get_mut("vfb") {
+                *v -= corner.vth_shift;
+            }
+        }
+        "npn" | "pnp" => {
+            scale(&mut out.params, "bf", corner.gain_scale);
+            scale(&mut out.params, "is", corner.gain_scale);
+        }
+        _ => {}
+    }
+    out
+}
+
+/// A compiled problem re-targeted at a perturbed model deck.
+///
+/// # Errors
+///
+/// [`EvalFailure::Build`] when the perturbed deck cannot build a model
+/// library (should not happen for the standard corners).
+pub fn at_corner(
+    compiled: &CompiledProblem,
+    corner: &Corner,
+) -> Result<CompiledProblem, EvalFailure> {
+    let cards: Vec<ModelCard> = compiled
+        .problem
+        .models
+        .iter()
+        .map(|c| perturb_card(c, corner))
+        .collect();
+    let lib = ModelLibrary::from_cards(&cards).map_err(|e| EvalFailure::Build(e.to_string()))?;
+    let mut out = compiled.clone();
+    out.lib = lib;
+    out.problem.models = cards;
+    Ok(out)
+}
+
+/// One corner's verification outcome.
+#[derive(Debug, Clone)]
+pub struct CornerResult {
+    /// Corner name.
+    pub name: &'static str,
+    /// Simulator-side verification at this corner (predictions are the
+    /// nominal OBLX numbers, so the rows show nominal-vs-corner drift).
+    pub verified: VerifiedDesign,
+}
+
+/// Verifies a synthesized configuration at every given corner.
+///
+/// The bias is re-solved per corner — devices shift regions, currents
+/// move — and every goal is re-measured through the simulator path.
+///
+/// # Errors
+///
+/// [`EvalFailure`] if any corner fails to bias or measure (a design
+/// that cannot even bias at a corner has failed that corner).
+pub fn verify_corners(
+    compiled: &CompiledProblem,
+    state: &OblxState,
+    nominal_predictions: &[(String, f64)],
+    corners: &[Corner],
+) -> Result<Vec<CornerResult>, EvalFailure> {
+    let mut out = Vec::with_capacity(corners.len());
+    for corner in corners {
+        let cp = at_corner(compiled, corner)?;
+        let verified = verify_design(&cp, state, nominal_predictions)?;
+        out.push(CornerResult {
+            name: corner.name,
+            verified,
+        });
+    }
+    Ok(out)
+}
+
+/// Worst-case value of a goal across corners: the minimum for
+/// larger-is-better goals, the maximum otherwise.
+pub fn worst_case(results: &[CornerResult], goal: &str, maximize: bool) -> Option<f64> {
+    let values = results.iter().filter_map(|r| {
+        r.verified
+            .rows
+            .iter()
+            .find(|(n, _, _)| n == goal)
+            .map(|(_, _, sim)| *sim)
+    });
+    if maximize {
+        values.min_by(|a, b| a.partial_cmp(b).expect("finite"))
+    } else {
+        values.max_by(|a, b| a.partial_cmp(b).expect("finite"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_suite;
+    use crate::oblx::{synthesize, SynthesisOptions};
+
+    #[test]
+    fn corners_shift_performance_but_design_still_biases() {
+        let b = bench_suite::simple_ota();
+        let compiled = crate::astrx::compile(b.problem().unwrap()).unwrap();
+        let result = synthesize(
+            &compiled,
+            &SynthesisOptions {
+                moves_budget: 6_000,
+                seed: 1,
+                quench_patience: 300,
+                ..SynthesisOptions::default()
+            },
+        )
+        .unwrap();
+
+        let corners = standard_corners();
+        let results = verify_corners(&compiled, &result.state, &result.measured, &corners).unwrap();
+        assert_eq!(results.len(), 5);
+
+        // Bandwidth tracks mobility (gm/Cl), so it must spread across
+        // corners. (dc gain can be corner-insensitive here: with
+        // DIBL-dominated output conductance, gm and gds track.)
+        let gbws: Vec<f64> = results
+            .iter()
+            .map(|r| {
+                r.verified
+                    .rows
+                    .iter()
+                    .find(|(n, _, _)| n == "gbw")
+                    .map(|(_, _, s)| *s)
+                    .unwrap()
+            })
+            .collect();
+        let hi = gbws.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        let lo = gbws.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        assert!(
+            (hi - lo) / hi > 0.02,
+            "corner gbw spread = {:.2}%: {gbws:?}",
+            100.0 * (hi - lo) / hi
+        );
+
+        // Worst case is no better than the best corner.
+        let wc = worst_case(&results, "gbw", true).unwrap();
+        assert!((wc - lo).abs() < 1e-9 * lo.abs().max(1.0));
+    }
+
+    #[test]
+    fn slow_corner_reduces_current() {
+        // A slow corner must reduce a fixed-bias device current.
+        let b = bench_suite::simple_ota();
+        let compiled = crate::astrx::compile(b.problem().unwrap()).unwrap();
+        let ss = Corner {
+            name: "ss",
+            gain_scale: 0.85,
+            vth_shift: 0.05,
+        };
+        let cp = at_corner(&compiled, &ss).unwrap();
+        let nom = compiled.lib.mos("nmos").unwrap();
+        let slow = cp.lib.mos("nmos").unwrap();
+        let id_nom = nom.op(20e-6, 2e-6, 2.5, 2.0, 0.0, 0.0).id;
+        let id_slow = slow.op(20e-6, 2e-6, 2.5, 2.0, 0.0, 0.0).id;
+        assert!(
+            id_slow < 0.95 * id_nom,
+            "slow corner current {id_slow} vs nominal {id_nom}"
+        );
+    }
+
+    #[test]
+    fn standard_corner_set_shape() {
+        let c = standard_corners();
+        assert_eq!(c.len(), 5);
+        assert_eq!(c[0].name, "tt");
+        assert_eq!(c[0].gain_scale, 1.0);
+        assert!(c.iter().any(|x| x.gain_scale < 1.0));
+        assert!(c.iter().any(|x| x.gain_scale > 1.0));
+    }
+}

@@ -1,0 +1,66 @@
+//! **astrx-oblx** — equation-free synthesis of high-performance analog
+//! circuits.
+//!
+//! A from-scratch Rust reproduction of Ochotta, Rutenbar & Carley,
+//! *"ASTRX/OBLX: Tools for Rapid Synthesis of High-Performance Analog
+//! Circuits"*, DAC 1994. The system sizes and biases a fixed circuit
+//! topology to meet user-supplied linear performance specifications
+//! **without designer-derived performance equations**:
+//!
+//! * [`astrx::compile`] (**ASTRX**) translates a SPICE-flavoured problem
+//!   description — topology, test jigs, bias circuit, `.var`/`.obj`/
+//!   `.spec` cards — into an executable cost function `C(x)`. It
+//!   determines the independent variable set `x` (user variables plus
+//!   the bias-circuit node voltages that a tree–link analysis cannot pin
+//!   down), writes Kirchhoff-law penalty terms for the **relaxed-dc
+//!   formulation**, builds the small-signal AWE circuits for each jig,
+//!   and can emit the equivalent C code (the 1994 implementation
+//!   compiled and linked this; we interpret the same structure and emit
+//!   the text for Table 1's statistics).
+//! * [`oblx::synthesize`] (**OBLX**) minimizes `C(x)` by simulated
+//!   annealing: a Lam-scheduled Metropolis loop over a move set mixing
+//!   random perturbations of discrete (log-grid) device sizes and
+//!   continuous node voltages with full and partial Newton–Raphson
+//!   dc moves, selected adaptively by Hustin statistics, with adaptive
+//!   constraint weights in place of hand-tuned scalar constants.
+//! * [`verify`] replays the synthesized design through the independent
+//!   SPICE-class simulator (`oblx-mna`) — full Newton–Raphson bias solve
+//!   plus direct per-frequency ac analysis — producing the
+//!   "OBLX / Simulation" comparison columns of the paper's Tables 2–3.
+//! * [`bench_suite`] ships the seven benchmark topologies of §VI.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use astrx_oblx::{astrx, oblx};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let source = std::fs::read_to_string("amp.ox")?;
+//! let compiled = astrx::compile_source(&source)?;
+//! let result = oblx::synthesize(&compiled, &oblx::SynthesisOptions::default())?;
+//! println!("best cost {:.4}", result.best_cost);
+//! for (name, value) in &result.measured {
+//!     println!("{name}: {value:.4e}");
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod astrx;
+pub mod bench_suite;
+pub mod corners;
+pub mod cost;
+pub mod emit;
+pub mod oblx;
+pub mod report;
+pub mod verify;
+mod weights;
+pub mod yield_mc;
+
+pub use astrx::{compile, compile_source, CompileError, CompileStats, CompiledProblem};
+pub use corners::{standard_corners, verify_corners, Corner, CornerResult};
+pub use cost::{CostBreakdown, CostEvaluator, EvalFailure};
+pub use oblx::{synthesize, OblxProblem, SynthesisOptions, SynthesisResult};
+pub use verify::{verify_design, verify_design_with, VerifiedDesign};
+pub use weights::AdaptiveWeights;
+pub use yield_mc::{yield_mc, YieldOptions, YieldResult};

@@ -1,0 +1,590 @@
+//! OBLX — the annealing solution library.
+//!
+//! OBLX minimizes the cost function ASTRX compiled. The annealing state
+//! is the variable vector `x`: discrete (log-grid) device geometries and
+//! continuous values among the user variables, plus the continuous
+//! relaxed-dc node voltages. The move set mixes random perturbations
+//! with full and partial Newton–Raphson jumps on the node voltages
+//! (paper §V.A); Hustin statistics in `oblx-anneal` decide the mix.
+
+use crate::astrx::{determined_voltages, CompiledProblem};
+use crate::cost::{CostBreakdown, CostEvaluator};
+use crate::weights::AdaptiveWeights;
+use oblx_anneal::{AnnealOptions, AnnealProblem, Annealer, Trace};
+use oblx_linalg::{Lu, Mat};
+use oblx_mna::{dc::linearize_at, SizedCircuit};
+use oblx_netlist::VarScale;
+use rand::{Rng, RngExt};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Synthesis run options.
+#[derive(Debug, Clone)]
+pub struct SynthesisOptions {
+    /// Annealing move budget.
+    pub moves_budget: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Trace sampling interval (0 disables).
+    pub trace_every: usize,
+    /// Evaluations between adaptive-weight updates.
+    pub weight_update_every: usize,
+    /// Discrete grid density (points per decade on log variables).
+    pub points_per_decade: usize,
+    /// Quench patience (greedy attempts without improvement).
+    pub quench_patience: usize,
+    /// AWE model order used inside the cost function.
+    pub awe_order: usize,
+    /// Ablation switch: disable the Newton–Raphson move classes
+    /// (forces purely random node-voltage exploration).
+    pub disable_newton_moves: bool,
+    /// Ablation switch: freeze all weights at 1 (no adaptation, no
+    /// KCL ramp).
+    pub disable_adaptive_weights: bool,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        SynthesisOptions {
+            moves_budget: 40_000,
+            seed: 1,
+            trace_every: 0,
+            weight_update_every: 500,
+            points_per_decade: 25,
+            quench_patience: 2_000,
+            awe_order: crate::cost::AWE_ORDER,
+            disable_newton_moves: false,
+            disable_adaptive_weights: false,
+        }
+    }
+}
+
+/// The annealing state: user-variable values plus relaxed-dc node
+/// voltages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OblxState {
+    /// User variable values in declaration order.
+    pub user: Vec<f64>,
+    /// Free bias-node voltages in node-var order.
+    pub nodes: Vec<f64>,
+}
+
+/// Result of a synthesis run.
+#[derive(Debug, Clone)]
+pub struct SynthesisResult {
+    /// Best configuration found.
+    pub state: OblxState,
+    /// Its cost.
+    pub best_cost: f64,
+    /// Cost decomposition at the best configuration (final weights).
+    pub breakdown: CostBreakdown,
+    /// `(goal name, measured value)` pairs at the best configuration.
+    pub measured: Vec<(String, f64)>,
+    /// `(variable name, value)` pairs.
+    pub variables: Vec<(String, f64)>,
+    /// Worst KCL residual at the best configuration (A).
+    pub kcl_max: f64,
+    /// Annealing trace (empty unless tracing was enabled).
+    pub trace: Trace,
+    /// Total proposals.
+    pub attempted: usize,
+    /// Total cost evaluations.
+    pub evaluations: usize,
+    /// Wall-clock seconds for the run.
+    pub wall_seconds: f64,
+    /// Mean milliseconds per circuit evaluation — Table 2's
+    /// "time/ckt. eval" row.
+    pub ms_per_eval: f64,
+}
+
+impl SynthesisResult {
+    /// The value of a named user variable.
+    pub fn var(&self, name: &str) -> Option<f64> {
+        self.variables
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The measured value of a named goal.
+    pub fn measure(&self, name: &str) -> Option<f64> {
+        self.measured
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// The OBLX annealing problem: binds the compiled cost function to the
+/// generic annealing engine.
+pub struct OblxProblem<'a> {
+    compiled: &'a CompiledProblem,
+    evaluator: CostEvaluator<'a>,
+    weights: AdaptiveWeights,
+    opts: SynthesisOptions,
+    evals: usize,
+    grid_steps: Vec<f64>,
+    node_lo: f64,
+    node_hi: f64,
+}
+
+/// Move-class indices (public so diagnostics can name them).
+pub mod move_class {
+    /// Perturb one user variable (grid step for discrete, range step
+    /// for continuous).
+    pub const USER_SINGLE: usize = 0;
+    /// Perturb a couple of user variables together.
+    pub const USER_MULTI: usize = 1;
+    /// Perturb one relaxed-dc node voltage.
+    pub const NODE_SINGLE: usize = 2;
+    /// Jitter all node voltages slightly.
+    pub const NODE_ALL: usize = 3;
+    /// Full Newton–Raphson jump toward dc-correctness.
+    pub const NEWTON_FULL: usize = 4;
+    /// Damped (30%) Newton–Raphson step.
+    pub const NEWTON_PARTIAL: usize = 5;
+    /// Compound move: perturb one user variable, then immediately
+    /// Newton-correct the node voltages. Without this, any geometry
+    /// change late in the run breaks Kirchhoff correctness and is
+    /// rejected by the (by-then dominant) KCL weights — the compound
+    /// move keeps geometry exploration alive after dc lock-in.
+    pub const USER_WITH_NEWTON: usize = 6;
+    /// Number of classes.
+    pub const COUNT: usize = 7;
+}
+
+impl<'a> OblxProblem<'a> {
+    /// Creates the problem for a compiled description.
+    pub fn new(compiled: &'a CompiledProblem, opts: SynthesisOptions) -> Self {
+        // Node-voltage exploration range: span of determined voltages
+        // (the supplies) widened by a volt on each side.
+        let vars = compiled.var_map(&compiled.initial_user_values());
+        let (mut lo, mut hi) = (0.0f64, 0.0f64);
+        if let Ok(bias) = SizedCircuit::build(&compiled.bias_netlist, &vars, &compiled.lib) {
+            for v in determined_voltages(&bias).into_iter().flatten() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        let grid_steps = compiled
+            .user_vars
+            .iter()
+            .map(|v| match v.scale {
+                VarScale::Log => {
+                    (v.max / v.min).ln()
+                        / ((v.max / v.min).log10() * opts.points_per_decade as f64).max(1.0)
+                }
+                VarScale::Lin => (v.max - v.min) / 100.0,
+            })
+            .collect();
+        OblxProblem {
+            compiled,
+            evaluator: CostEvaluator::with_awe_order(compiled, opts.awe_order),
+            weights: AdaptiveWeights::new(compiled),
+            opts,
+            evals: 0,
+            grid_steps,
+            node_lo: lo - 1.0,
+            node_hi: hi + 1.0,
+        }
+    }
+
+    /// The adaptive weights (final values after a run).
+    pub fn weights(&self) -> &AdaptiveWeights {
+        &self.weights
+    }
+
+    /// Number of cost evaluations so far.
+    pub fn evaluations(&self) -> usize {
+        self.evals
+    }
+
+    /// Snaps a user-variable value onto its grid and range.
+    fn clamp_user(&self, i: usize, value: f64) -> f64 {
+        let decl = &self.compiled.user_vars[i];
+        let v = value.clamp(decl.min, decl.max);
+        if decl.continuous {
+            return v;
+        }
+        match decl.scale {
+            VarScale::Log => {
+                let step = self.grid_steps[i];
+                let k = ((v / decl.min).ln() / step).round();
+                (decl.min * (k * step).exp()).clamp(decl.min, decl.max)
+            }
+            VarScale::Lin => {
+                let step = self.grid_steps[i];
+                let k = ((v - decl.min) / step).round();
+                (decl.min + k * step).clamp(decl.min, decl.max)
+            }
+        }
+    }
+
+    fn perturb_user(&self, state: &OblxState, i: usize, scale: f64, rng: &mut dyn Rng) -> f64 {
+        let decl = &self.compiled.user_vars[i];
+        let r = rng.random::<f64>() * 2.0 - 1.0;
+        let value = match decl.scale {
+            VarScale::Log => {
+                // Multiplicative walk: up to 2 decades at full scale.
+                let span = (decl.max / decl.min).log10().min(2.0);
+                state.user[i] * 10f64.powf(r * scale * span)
+            }
+            VarScale::Lin => state.user[i] + r * scale * (decl.max - decl.min) * 0.5,
+        };
+        self.clamp_user(i, value)
+    }
+
+    /// Newton–Raphson move on node voltages: solve the free-node block
+    /// of `J·Δ = −F` at the current configuration.
+    fn newton_move(&self, state: &OblxState, alpha: f64) -> Option<OblxState> {
+        let vars = self.compiled.var_map(&state.user);
+        let bias =
+            SizedCircuit::build(&self.compiled.bias_netlist, &vars, &self.compiled.lib).ok()?;
+        let det = determined_voltages(&bias);
+        let mut x = vec![0.0; bias.dim()];
+        let mut free = Vec::new();
+        let mut fi = 0usize;
+        for (i, dv) in det.iter().enumerate() {
+            match dv {
+                Some(v) => x[i] = *v,
+                None => {
+                    x[i] = state.nodes.get(fi).copied().unwrap_or(0.0);
+                    free.push(i);
+                    fi += 1;
+                }
+            }
+        }
+        let (jac, f) = linearize_at(&bias, &x, 1.0, 1e-12);
+        let nf = free.len();
+        if nf == 0 {
+            return None;
+        }
+        let mut jff = Mat::zeros(nf, nf);
+        let mut rhs = vec![0.0; nf];
+        for (r, &nr) in free.iter().enumerate() {
+            rhs[r] = -f[nr];
+            for (c, &nc) in free.iter().enumerate() {
+                jff[(r, c)] = jac.get(nr, nc);
+            }
+        }
+        let delta = Lu::factor(jff).ok()?.solve(&rhs);
+        let mut next = state.clone();
+        for (k, d) in delta.iter().enumerate() {
+            let step = (alpha * d).clamp(-1.0, 1.0);
+            next.nodes[k] = (next.nodes[k] + step).clamp(self.node_lo, self.node_hi);
+        }
+        Some(next)
+    }
+}
+
+impl AnnealProblem for OblxProblem<'_> {
+    type State = OblxState;
+
+    fn initial_state(&mut self) -> OblxState {
+        let user = self.compiled.initial_user_values();
+        let mid = 0.5 * (self.node_lo + self.node_hi);
+        OblxState {
+            user: user
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| self.clamp_user(i, v))
+                .collect(),
+            nodes: vec![mid; self.compiled.node_vars.len()],
+        }
+    }
+
+    fn cost(&mut self, state: &OblxState) -> f64 {
+        self.evals += 1;
+        let b = self
+            .evaluator
+            .evaluate(&state.user, &state.nodes, &self.weights);
+        if !b.failed {
+            self.weights.observe(&b.violation, &b.kcl_violation);
+        }
+        if !self.opts.disable_adaptive_weights
+            && self.evals.is_multiple_of(self.opts.weight_update_every)
+        {
+            let progress = self.evals as f64 / self.opts.moves_budget.max(1) as f64;
+            self.weights.adapt(progress.min(1.0));
+        }
+        b.total
+    }
+
+    fn move_classes(&self) -> usize {
+        move_class::COUNT
+    }
+
+    fn propose(
+        &mut self,
+        state: &OblxState,
+        class: usize,
+        scale: f64,
+        rng: &mut dyn Rng,
+    ) -> Option<OblxState> {
+        let nu = state.user.len();
+        let nn = state.nodes.len();
+        match class {
+            move_class::USER_SINGLE if nu > 0 => {
+                let i = (rng.next_u64() as usize) % nu;
+                let mut next = state.clone();
+                next.user[i] = self.perturb_user(state, i, scale, rng);
+                Some(next)
+            }
+            move_class::USER_MULTI if nu > 1 => {
+                let mut next = state.clone();
+                let count = 2 + (rng.next_u64() as usize) % nu.min(3);
+                for _ in 0..count {
+                    let i = (rng.next_u64() as usize) % nu;
+                    next.user[i] = self.perturb_user(&next, i, scale * 0.5, rng);
+                }
+                Some(next)
+            }
+            move_class::NODE_SINGLE if nn > 0 => {
+                let k = (rng.next_u64() as usize) % nn;
+                let mut next = state.clone();
+                let r = rng.random::<f64>() * 2.0 - 1.0;
+                next.nodes[k] = (next.nodes[k] + r * scale * 0.5 * (self.node_hi - self.node_lo))
+                    .clamp(self.node_lo, self.node_hi);
+                Some(next)
+            }
+            move_class::NODE_ALL if nn > 0 => {
+                let mut next = state.clone();
+                for v in next.nodes.iter_mut() {
+                    let r = rng.random::<f64>() * 2.0 - 1.0;
+                    *v = (*v + r * scale * 0.1 * (self.node_hi - self.node_lo))
+                        .clamp(self.node_lo, self.node_hi);
+                }
+                Some(next)
+            }
+            move_class::NEWTON_FULL if nn > 0 && !self.opts.disable_newton_moves => {
+                self.newton_move(state, 1.0)
+            }
+            move_class::NEWTON_PARTIAL if nn > 0 && !self.opts.disable_newton_moves => {
+                self.newton_move(state, 0.3)
+            }
+            move_class::USER_WITH_NEWTON if nu > 0 && nn > 0 && !self.opts.disable_newton_moves => {
+                let i = (rng.next_u64() as usize) % nu;
+                let mut next = state.clone();
+                next.user[i] = self.perturb_user(state, i, scale, rng);
+                // Two Newton sweeps re-establish dc at the new geometry.
+                let mut corrected = self.newton_move(&next, 1.0)?;
+                corrected.user = next.user;
+                if let Some(again) = self.newton_move(&corrected, 1.0) {
+                    corrected.nodes = again.nodes;
+                }
+                Some(corrected)
+            }
+            _ => None,
+        }
+    }
+
+    fn telemetry_names(&self) -> Vec<String> {
+        vec![
+            "kcl_max".into(),
+            "c_dc".into(),
+            "c_perf".into(),
+            "c_obj".into(),
+        ]
+    }
+
+    fn telemetry(&mut self, state: &OblxState) -> Vec<f64> {
+        let b = self
+            .evaluator
+            .evaluate(&state.user, &state.nodes, &self.weights);
+        vec![b.kcl_max, b.c_dc, b.c_perf, b.c_obj]
+    }
+}
+
+/// Runs a full OBLX synthesis on a compiled problem.
+///
+/// # Errors
+///
+/// [`crate::cost::EvalFailure`] if even the *best* configuration found
+/// cannot be evaluated — which indicates a structurally broken problem
+/// rather than a poor optimum.
+pub fn synthesize(
+    compiled: &CompiledProblem,
+    opts: &SynthesisOptions,
+) -> Result<SynthesisResult, crate::cost::EvalFailure> {
+    let start = Instant::now();
+    let mut problem = OblxProblem::new(compiled, opts.clone());
+    let mut annealer = Annealer::new(AnnealOptions {
+        moves_budget: opts.moves_budget,
+        seed: opts.seed,
+        trace_every: opts.trace_every,
+        quench_patience: opts.quench_patience,
+        ..AnnealOptions::default()
+    });
+    let result = annealer.run(&mut problem);
+    let wall = start.elapsed().as_secs_f64();
+    let evaluations = problem.evaluations();
+
+    // Final scoring with the final weights, surfacing any failure.
+    let record = problem
+        .evaluator
+        .record(&result.best_state.user, &result.best_state.nodes)?;
+    let breakdown = problem
+        .evaluator
+        .cost_of_record(&record, &problem.weights)?;
+
+    let measured: Vec<(String, f64)> = compiled
+        .problem
+        .specs
+        .iter()
+        .zip(breakdown.measured.iter())
+        .map(|(g, &v)| (g.name.clone(), v))
+        .collect();
+    let variables: Vec<(String, f64)> = compiled
+        .user_vars
+        .iter()
+        .zip(result.best_state.user.iter())
+        .map(|(d, &v)| (d.name.clone(), v))
+        .collect();
+
+    Ok(SynthesisResult {
+        kcl_max: breakdown.kcl_max,
+        best_cost: result.best_cost,
+        breakdown,
+        measured,
+        variables,
+        state: result.best_state,
+        trace: result.trace,
+        attempted: result.attempted,
+        evaluations,
+        wall_seconds: wall,
+        ms_per_eval: if evaluations > 0 {
+            1000.0 * wall / evaluations as f64
+        } else {
+            0.0
+        },
+    })
+}
+
+/// The user-variable assignment of a state, as a map.
+pub fn state_vars(compiled: &CompiledProblem, state: &OblxState) -> HashMap<String, f64> {
+    compiled.var_map(&state.user)
+}
+
+/// Evaluates a configuration under the *frozen end-of-run* weight set
+/// (uniform goal weights, full KCL ramp) — the commensurable score for
+/// comparing results across independent annealing runs, as in the
+/// paper's best-of-several-overnight-runs protocol.
+pub fn fixed_cost(compiled: &CompiledProblem, state: &OblxState) -> f64 {
+    let ev = CostEvaluator::new(compiled);
+    let w = AdaptiveWeights::frozen_final(compiled);
+    ev.evaluate(&state.user, &state.nodes, &w).total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::astrx::compile_source;
+
+    fn compiled() -> CompiledProblem {
+        compile_source(include_str!("testdata/diffamp.ox")).unwrap()
+    }
+
+    #[test]
+    fn grid_snapping_log() {
+        let c = compiled();
+        let p = OblxProblem::new(&c, SynthesisOptions::default());
+        // W in [2u, 500u] log grid.
+        let snapped = p.clamp_user(0, 37.3e-6);
+        assert!((2e-6..=500e-6).contains(&snapped));
+        // Snapping twice is identity.
+        assert_eq!(p.clamp_user(0, snapped), snapped);
+        // Out of range clamps.
+        assert_eq!(p.clamp_user(0, 1e-3), 500e-6);
+        assert_eq!(p.clamp_user(0, 0.0), 2e-6);
+    }
+
+    #[test]
+    fn continuous_vars_not_snapped() {
+        let c = compiled();
+        let p = OblxProblem::new(&c, SynthesisOptions::default());
+        // Vb (index 3) is continuous.
+        assert_eq!(p.clamp_user(3, 1.2345), 1.2345);
+    }
+
+    #[test]
+    fn newton_move_reduces_kcl_error() {
+        let c = compiled();
+        let mut p = OblxProblem::new(&c, SynthesisOptions::default());
+        let state = p.initial_state();
+        let w = AdaptiveWeights::new(&c);
+        let before = p
+            .evaluator
+            .try_evaluate(&state.user, &state.nodes, &w)
+            .unwrap()
+            .kcl_max;
+        let mut s = state.clone();
+        for _ in 0..20 {
+            match p.newton_move(&s, 1.0) {
+                Some(next) => s = next,
+                None => break,
+            }
+        }
+        let after = p
+            .evaluator
+            .try_evaluate(&s.user, &s.nodes, &w)
+            .unwrap()
+            .kcl_max;
+        assert!(
+            after < before * 1e-3,
+            "newton must slash kcl error: {before} -> {after}"
+        );
+        assert!(after < 1e-7, "converged to dc point: {after}");
+    }
+
+    #[test]
+    fn short_synthesis_run_improves_cost_and_converges_dc() {
+        let c = compiled();
+        let opts = SynthesisOptions {
+            moves_budget: 3_000,
+            seed: 11,
+            trace_every: 100,
+            quench_patience: 300,
+            ..SynthesisOptions::default()
+        };
+        // Initial cost for comparison.
+        let mut p0 = OblxProblem::new(&c, opts.clone());
+        let init = p0.initial_state();
+        let init_cost = p0.cost(&init);
+
+        let result = synthesize(&c, &opts).unwrap();
+        assert!(
+            result.best_cost < init_cost,
+            "synthesis must improve: {init_cost} -> {}",
+            result.best_cost
+        );
+        // Relaxed dc must have annealed to near-correctness.
+        assert!(
+            result.kcl_max < 1e-6,
+            "kcl residual at best = {}",
+            result.kcl_max
+        );
+        // Trace recorded the Fig. 2 series.
+        assert!(result.trace.series("kcl_max").is_some());
+        assert!(result.evaluations > 1000);
+        assert!(result.ms_per_eval > 0.0);
+        // Variables within their declared ranges.
+        for (decl, (_, v)) in c.user_vars.iter().zip(result.variables.iter()) {
+            assert!(*v >= decl.min && *v <= decl.max);
+        }
+    }
+
+    #[test]
+    fn synthesis_is_deterministic_per_seed() {
+        let c = compiled();
+        let opts = SynthesisOptions {
+            moves_budget: 800,
+            seed: 3,
+            quench_patience: 100,
+            ..SynthesisOptions::default()
+        };
+        let a = synthesize(&c, &opts).unwrap();
+        let b = synthesize(&c, &opts).unwrap();
+        assert_eq!(a.best_cost.to_bits(), b.best_cost.to_bits());
+        assert_eq!(a.state, b.state);
+    }
+}

@@ -1,0 +1,162 @@
+//! Plain-text table formatting for experiment reports.
+//!
+//! The examples and benches print the regenerated tables with these
+//! helpers so EXPERIMENTS.md rows can be pasted directly.
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (short rows are padded with blanks).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        while r.len() < self.header.len() {
+            r.push(String::new());
+        }
+        self.rows.push(r);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = width[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<w$}", c, w = width[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        out.push('\n');
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &width));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Engineering-notation formatting (`3.30 µ`, `45.1 M`, …).
+pub fn eng(value: f64) -> String {
+    if value == 0.0 {
+        return "0".to_string();
+    }
+    if !value.is_finite() {
+        return format!("{value}");
+    }
+    let mag = value.abs();
+    let (scale, suffix) = if mag >= 1e9 {
+        (1e9, "G")
+    } else if mag >= 1e6 {
+        (1e6, "M")
+    } else if mag >= 1e3 {
+        (1e3, "k")
+    } else if mag >= 1.0 {
+        (1.0, "")
+    } else if mag >= 1e-3 {
+        (1e-3, "m")
+    } else if mag >= 1e-6 {
+        (1e-6, "u")
+    } else if mag >= 1e-9 {
+        (1e-9, "n")
+    } else if mag >= 1e-12 {
+        (1e-12, "p")
+    } else {
+        (1e-15, "f")
+    };
+    format!("{:.3}{}", value / scale, suffix)
+}
+
+/// Formats an `OBLX / simulation` pair the way Tables 2/3 print them.
+pub fn pair(pred: f64, sim: f64) -> String {
+    format!("{} / {}", eng(pred), eng(sim))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["alpha", "1"]);
+        t.row(vec!["b", "22222"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("alpha"));
+        // Columns aligned: `value` column starts at same offset.
+        let off0 = lines[0].find("value").unwrap();
+        let off2 = lines[2].find('1').unwrap();
+        assert_eq!(off0, off2);
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.row(vec!["x"]);
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 1);
+        let s = t.render();
+        assert!(s.contains('x'));
+    }
+
+    #[test]
+    fn engineering_notation() {
+        assert_eq!(eng(0.0), "0");
+        assert_eq!(eng(1.5e6), "1.500M");
+        assert_eq!(eng(50.1e6), "50.100M");
+        assert_eq!(eng(-3.3e-6), "-3.300u");
+        assert_eq!(eng(2.5), "2.500");
+        assert_eq!(eng(720e-6), "720.000u");
+        assert_eq!(eng(1e-13), "100.000f");
+    }
+
+    #[test]
+    fn pair_format() {
+        assert_eq!(pair(50.1e6, 50.6e6), "50.100M / 50.600M");
+    }
+}

@@ -1,0 +1,40 @@
+.title section-iv diff amp
+.var W 2u 500u log
+.var L 1u 20u log
+.var I 2u 2m log
+.var Vb 0.8 4.2 lin cont
+
+.model nmos nmos level=1 vto=0.75 kp=5.2e-5 gamma=0.55 lambda=0.03
+.model pmos pmos level=1 vto=-0.85 kp=1.8e-5 gamma=0.5 lambda=0.045
+
+.subckt amp in+ in- out+ out- nvdd nvss
+m1 out- in+ t nvss nmos w='W' l='L'
+m2 out+ in- t nvss nmos w='W' l='L'
+m3 out- bias nvdd nvdd pmos w=40u l=2u
+m4 out+ bias nvdd nvdd pmos w=40u l=2u
+vb bias nvdd '0-Vb'
+ib t nvss 'I'
+.ends
+
+.jig acjig
+xamp in+ in- out+ out- nvdd nvss amp
+vdd nvdd 0 5
+vss nvss 0 0
+vin in+ 0 0 ac 1
+ein in- 0 0 in+ 1
+cl1 out+ 0 1p
+cl2 out- 0 1p
+.pz tf v(out+) vin
+.endjig
+
+.bias
+xamp in+ in- out+ out- nvdd nvss amp
+vdd nvdd 0 5
+vss nvss 0 0
+vc1 in+ 0 2.5
+vc2 in- 0 2.5
+.endbias
+
+.obj adm 'db(dc_gain(tf))' good=40 bad=5
+.spec ugf 'ugf(tf)' good=1Meg bad=10k
+.spec sr 'I/(2*(1p+xamp.m1.cd+xamp.m3.cd))' good=1Meg bad=10k

@@ -1,0 +1,228 @@
+//! Adaptive constraint weights.
+//!
+//! The paper replaces the hand-tuned scalar weights of equation (2)
+//! with adaptive algorithms so that "an analog circuit designer can use
+//! ASTRX/OBLX without understanding its internal architecture". The
+//! scheme here follows the standard adaptive-penalty recipe: a
+//! constraint that stays violated across an update window has its
+//! weight multiplied up; a constraint comfortably satisfied drifts back
+//! down toward 1. KCL constraints additionally ramp with annealing
+//! progress, mirroring Fig. 2's requirement that dc-correctness is only
+//! *eventually* enforced.
+
+use crate::astrx::CompiledProblem;
+
+/// Per-term adaptive weights for the cost function.
+#[derive(Debug, Clone)]
+pub struct AdaptiveWeights {
+    goal_w: Vec<f64>,
+    adaptable: Vec<bool>,
+    kcl_w: Vec<f64>,
+    device_w: f64,
+    kcl_ramp: f64,
+    violation_acc: Vec<f64>,
+    kcl_acc: Vec<f64>,
+    samples: usize,
+}
+
+impl AdaptiveWeights {
+    /// Upper cap for any adapted weight. A fully violated, fully
+    /// railed constraint then costs `MAX_WEIGHT × z` with `z ≤ 100` —
+    /// dominant over any objective, but not so steep that the
+    /// landscape collapses into all-or-nothing cliffs.
+    pub const MAX_WEIGHT: f64 = 300.0;
+
+    /// Uniform initial weights for a compiled problem.
+    ///
+    /// Only *constraint* goals adapt. Objectives keep weight 1 — an
+    /// objective whose weight had been boosted while unmet would later
+    /// reward the annealer arbitrarily for overshooting it, corrupting
+    /// the cost landscape.
+    pub fn new(compiled: &CompiledProblem) -> Self {
+        AdaptiveWeights {
+            goal_w: vec![1.0; compiled.problem.specs.len()],
+            adaptable: compiled
+                .problem
+                .specs
+                .iter()
+                .map(|g| g.kind == oblx_netlist::SpecKind::Constraint)
+                .collect(),
+            kcl_w: vec![1.0; compiled.node_vars.len()],
+            device_w: 1.0,
+            kcl_ramp: 1.0,
+            violation_acc: vec![0.0; compiled.problem.specs.len()],
+            kcl_acc: vec![0.0; compiled.node_vars.len()],
+            samples: 0,
+        }
+    }
+
+    /// A frozen end-of-run weight set: uniform goal weights, full KCL
+    /// ramp. Used to compare configurations *across* annealing runs,
+    /// where each run's adapted weights would otherwise make the costs
+    /// incommensurable.
+    pub fn frozen_final(compiled: &CompiledProblem) -> Self {
+        let mut w = AdaptiveWeights::new(compiled);
+        w.kcl_ramp = 30.0;
+        w
+    }
+
+    /// Weight of goal term `i`.
+    pub fn goal(&self, i: usize) -> f64 {
+        self.goal_w.get(i).copied().unwrap_or(1.0)
+    }
+
+    /// Weight of the KCL term for free node `k`, including the
+    /// progress ramp.
+    pub fn kcl(&self, k: usize) -> f64 {
+        self.kcl_w.get(k).copied().unwrap_or(1.0) * self.kcl_ramp
+    }
+
+    /// Weight of the device-region terms.
+    pub fn device(&self) -> f64 {
+        self.device_w
+    }
+
+    /// Accumulates the violation profile of an accepted configuration
+    /// (`violation` / `kcl_violation` as produced by
+    /// [`crate::cost::CostBreakdown`]).
+    pub fn observe(&mut self, violation: &[f64], kcl_violation: &[f64]) {
+        for (acc, v) in self.violation_acc.iter_mut().zip(violation.iter()) {
+            *acc += v.max(0.0);
+        }
+        for (acc, v) in self.kcl_acc.iter_mut().zip(kcl_violation.iter()) {
+            *acc += v.max(0.0);
+        }
+        self.samples += 1;
+    }
+
+    /// Applies one adaptation step from the accumulated observations
+    /// and clears them. `progress ∈ [0, 1]` scales the KCL ramp from
+    /// 1 up to 30× so dc-correctness dominates late in the run.
+    pub fn adapt(&mut self, progress: f64) {
+        self.kcl_ramp = 1.0 + 29.0 * progress.clamp(0.0, 1.0).powi(2);
+        if self.samples == 0 {
+            return;
+        }
+        let n = self.samples as f64;
+        for ((w, acc), adaptable) in self
+            .goal_w
+            .iter_mut()
+            .zip(self.violation_acc.iter_mut())
+            .zip(self.adaptable.iter())
+        {
+            if *adaptable {
+                let mean = *acc / n;
+                if mean > 0.01 {
+                    *w = (*w * 1.3).min(Self::MAX_WEIGHT);
+                } else {
+                    *w = (*w * 0.9).max(1.0);
+                }
+            }
+            *acc = 0.0;
+        }
+        // KCL constraints adapt per node like any other constraint —
+        // dc-correctness must never be out-shouted by a railed
+        // performance weight (the paper drives KCL error to simulator
+        // tolerance by freeze-out, Fig. 2).
+        for (w, acc) in self.kcl_w.iter_mut().zip(self.kcl_acc.iter_mut()) {
+            let mean = *acc / n;
+            if mean > 0.01 {
+                *w = (*w * 1.3).min(Self::MAX_WEIGHT);
+            } else {
+                *w = (*w * 0.9).max(1.0);
+            }
+            *acc = 0.0;
+        }
+        self.samples = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::astrx::compile_source;
+
+    fn compiled() -> CompiledProblem {
+        compile_source(include_str!("testdata/diffamp.ox")).unwrap()
+    }
+
+    #[test]
+    fn starts_uniform() {
+        let c = compiled();
+        let w = AdaptiveWeights::new(&c);
+        assert_eq!(w.goal(0), 1.0);
+        assert_eq!(w.kcl(0), 1.0);
+        assert_eq!(w.device(), 1.0);
+    }
+
+    #[test]
+    fn violated_constraints_gain_weight() {
+        let c = compiled();
+        let mut w = AdaptiveWeights::new(&c);
+        for _ in 0..10 {
+            w.observe(&[0.0, 0.5, 0.0], &[]);
+        }
+        w.adapt(0.0);
+        assert!(w.goal(1) > 1.0);
+        assert_eq!(w.goal(0), 1.0);
+        assert_eq!(w.goal(2), 1.0);
+    }
+
+    #[test]
+    fn satisfied_constraints_relax_back() {
+        let c = compiled();
+        let mut w = AdaptiveWeights::new(&c);
+        for _ in 0..10 {
+            w.observe(&[0.0, 1.0, 0.0], &[]);
+        }
+        w.adapt(0.0);
+        let peak = w.goal(1);
+        for _ in 0..10 {
+            w.observe(&[0.0, 0.0, 0.0], &[]);
+            w.adapt(0.0);
+        }
+        assert!(w.goal(1) < peak);
+        assert!(w.goal(1) >= 1.0);
+    }
+
+    #[test]
+    fn weights_capped() {
+        let c = compiled();
+        let mut w = AdaptiveWeights::new(&c);
+        for _ in 0..200 {
+            w.observe(&[1.0, 1.0, 1.0], &[1.0]);
+            w.adapt(0.5);
+        }
+        assert!(w.goal(0) <= AdaptiveWeights::MAX_WEIGHT);
+    }
+
+    #[test]
+    fn kcl_nodes_adapt_like_constraints() {
+        let c = compiled();
+        let mut w = AdaptiveWeights::new(&c);
+        for _ in 0..10 {
+            w.observe(&[0.0, 0.0, 0.0], &[5.0, 0.0, 0.0]);
+        }
+        w.adapt(0.0);
+        assert!(w.kcl(0) > w.kcl(1), "violated node gains weight");
+    }
+
+    #[test]
+    fn frozen_final_is_uniform_with_full_ramp() {
+        let c = compiled();
+        let w = AdaptiveWeights::frozen_final(&c);
+        assert_eq!(w.goal(0), 1.0);
+        assert_eq!(w.kcl(0), 30.0);
+    }
+
+    #[test]
+    fn kcl_ramp_grows_with_progress() {
+        let c = compiled();
+        let mut w = AdaptiveWeights::new(&c);
+        w.adapt(0.0);
+        let early = w.kcl(0);
+        w.adapt(1.0);
+        let late = w.kcl(0);
+        assert!(late > 10.0 * early);
+    }
+}

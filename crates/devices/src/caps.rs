@@ -1,0 +1,164 @@
+//! MOS capacitance models: Meyer channel-charge partitioning plus
+//! depletion junction capacitances.
+
+use crate::mos_iv::{MosParams, RawRegion};
+
+/// The five small-signal capacitances of a MOS device (normalized frame).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MosCaps {
+    /// Gate–source capacitance (F).
+    pub cgs: f64,
+    /// Gate–drain capacitance (F).
+    pub cgd: f64,
+    /// Gate–bulk capacitance (F).
+    pub cgb: f64,
+    /// Bulk–drain junction capacitance (F).
+    pub cbd: f64,
+    /// Bulk–source junction capacitance (F).
+    pub cbs: f64,
+}
+
+/// Meyer gate-capacitance partitioning by region, with overlap
+/// capacitances added.
+pub(crate) fn meyer_caps(
+    p: &MosParams,
+    w: f64,
+    l: f64,
+    region: RawRegion,
+    vds: f64,
+    vdsat: f64,
+) -> (f64, f64, f64) {
+    let leff = p.leff(l);
+    let cox = p.cox() * w * leff;
+    let ov_s = p.cgso * w;
+    let ov_d = p.cgdo * w;
+    let ov_b = p.cgbo * l;
+    match region {
+        RawRegion::Cutoff => (ov_s, ov_d, cox + ov_b),
+        RawRegion::Triode => {
+            // Smoothly split the channel charge as vds approaches vdsat.
+            let x = if vdsat > 0.0 {
+                (vds / vdsat).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            // vds = 0: 1/2–1/2 split; vds → vdsat: 2/3–~0 split.
+            let cgs = cox * (0.5 + x / 6.0);
+            let cgd = cox * (0.5 - x / 2.0).max(0.0);
+            (cgs + ov_s, cgd + ov_d, ov_b)
+        }
+        RawRegion::Saturation => (cox * 2.0 / 3.0 + ov_s, ov_d, ov_b),
+    }
+}
+
+/// Reverse-bias depletion capacitance `c0/(1 − v/pb)^m`, with the SPICE
+/// forward-bias linearization above `fc·pb` so the value stays finite and
+/// continuous for any proposed voltage.
+pub(crate) fn junction_cap(c0: f64, v: f64, pb: f64, m: f64) -> f64 {
+    const FC: f64 = 0.5;
+    let vlim = FC * pb;
+    if v < vlim {
+        c0 / (1.0 - v / pb).powf(m)
+    } else {
+        // Linear extension with matching value and slope at v = vlim.
+        let f = 1.0 - FC;
+        let c_at = c0 / f.powf(m);
+        let dc = c0 * m / (pb * f.powf(m + 1.0));
+        c_at + dc * (v - vlim)
+    }
+}
+
+/// Drain/source junction capacitance for a diffusion of width `w`:
+/// bottom plate `cj·(w·ldif)` plus sidewall `cjsw·(2·ldif + w)`, both
+/// voltage-dependent. `vbx` is the bulk-to-diffusion voltage (negative in
+/// normal operation).
+pub(crate) fn diffusion_cap(p: &MosParams, w: f64, vbx: f64) -> f64 {
+    let area = w * p.ldif;
+    let perim = 2.0 * p.ldif + w;
+    junction_cap(p.cj * area, vbx, p.pb, p.mj) + junction_cap(p.cjsw * perim, vbx, p.pb, p.mjsw)
+}
+
+/// Full capacitance evaluation in the normalized frame.
+pub(crate) fn mos_caps(
+    p: &MosParams,
+    w: f64,
+    l: f64,
+    region: RawRegion,
+    vds: f64,
+    vdsat: f64,
+    vbs: f64,
+) -> MosCaps {
+    let (cgs, cgd, cgb) = meyer_caps(p, w, l, region, vds, vdsat);
+    let vbd = vbs - vds;
+    MosCaps {
+        cgs,
+        cgd,
+        cgb,
+        cbd: diffusion_cap(p, w, vbd),
+        cbs: diffusion_cap(p, w, vbs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> MosParams {
+        MosParams::default()
+    }
+
+    #[test]
+    fn saturation_meyer_two_thirds() {
+        let params = p();
+        let w = 10e-6;
+        let l = 2e-6;
+        let cox = params.cox() * w * params.leff(l);
+        let (cgs, cgd, _) = meyer_caps(&params, w, l, RawRegion::Saturation, 2.0, 0.5);
+        assert!((cgs - (2.0 / 3.0 * cox + params.cgso * w)).abs() < 1e-18);
+        assert!((cgd - params.cgdo * w).abs() < 1e-20);
+    }
+
+    #[test]
+    fn cutoff_gate_cap_goes_to_bulk() {
+        let params = p();
+        let (cgs, cgd, cgb) = meyer_caps(&params, 10e-6, 2e-6, RawRegion::Cutoff, 0.0, 0.0);
+        assert!(cgb > cgs && cgb > cgd);
+    }
+
+    #[test]
+    fn triode_split_is_balanced_at_zero_vds() {
+        let params = p();
+        let w = 10e-6;
+        let l = 2e-6;
+        let (cgs, cgd, _) = meyer_caps(&params, w, l, RawRegion::Triode, 0.0, 1.0);
+        // Remove overlaps before comparing the split.
+        let a = cgs - params.cgso * w;
+        let b = cgd - params.cgdo * w;
+        assert!((a - b).abs() < 1e-18);
+    }
+
+    #[test]
+    fn junction_cap_reverse_bias_decreases() {
+        let c_rev = junction_cap(1e-12, -3.0, 0.8, 0.5);
+        let c_zero = junction_cap(1e-12, 0.0, 0.8, 0.5);
+        assert!(c_rev < c_zero);
+        assert_eq!(c_zero, 1e-12);
+    }
+
+    #[test]
+    fn junction_cap_forward_bias_is_finite_and_continuous() {
+        let just_below = junction_cap(1e-12, 0.4 - 1e-9, 0.8, 0.5);
+        let just_above = junction_cap(1e-12, 0.4 + 1e-9, 0.8, 0.5);
+        assert!((just_below - just_above).abs() < 1e-20);
+        let way_forward = junction_cap(1e-12, 5.0, 0.8, 0.5);
+        assert!(way_forward.is_finite() && way_forward > just_above);
+    }
+
+    #[test]
+    fn diffusion_cap_scales_with_width() {
+        let params = p();
+        let small = diffusion_cap(&params, 5e-6, -2.0);
+        let large = diffusion_cap(&params, 50e-6, -2.0);
+        assert!(large > 5.0 * small && large < 15.0 * small);
+    }
+}

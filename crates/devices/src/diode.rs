@@ -1,0 +1,233 @@
+//! Junction-diode evaluator (SPICE `D` model subset): exponential I–V
+//! with series-limited exponent, plus depletion/diffusion capacitance.
+
+use crate::caps::junction_cap;
+use crate::mos_iv::VT;
+use oblx_netlist::ModelCard;
+
+/// Diode model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiodeParams {
+    /// Saturation current (A).
+    pub is: f64,
+    /// Emission coefficient.
+    pub n: f64,
+    /// Zero-bias junction capacitance (F).
+    pub cj0: f64,
+    /// Built-in potential (V).
+    pub vj: f64,
+    /// Grading coefficient.
+    pub m: f64,
+    /// Transit time (s) for diffusion capacitance.
+    pub tt: f64,
+}
+
+impl Default for DiodeParams {
+    fn default() -> Self {
+        DiodeParams {
+            is: 1e-14,
+            n: 1.0,
+            cj0: 1e-12,
+            vj: 0.75,
+            m: 0.5,
+            tt: 0.0,
+        }
+    }
+}
+
+impl DiodeParams {
+    /// Builds parameters from a `.model` card (kind `d`).
+    pub fn from_card(card: &ModelCard) -> DiodeParams {
+        let mut p = DiodeParams::default();
+        let g = |k: &str, d: f64| card.params.get(k).copied().unwrap_or(d);
+        p.is = g("is", p.is);
+        p.n = g("n", p.n);
+        p.cj0 = g("cj0", p.cj0);
+        p.vj = g("vj", p.vj);
+        p.m = g("m", p.m);
+        p.tt = g("tt", p.tt);
+        p
+    }
+}
+
+/// A diode operating point: current anode→cathode, incremental
+/// conductance, and small-signal capacitance.
+#[derive(Debug, Clone, Copy)]
+pub struct DiodeOp {
+    /// Junction current (A), anode → cathode.
+    pub id: f64,
+    /// Incremental conductance ∂id/∂vd (S).
+    pub gd: f64,
+    /// Small-signal capacitance (F): depletion + diffusion.
+    pub cd: f64,
+    /// `true` when forward-biased past ~0.4 V.
+    pub forward: bool,
+}
+
+impl DiodeOp {
+    /// Looks up a named quantity (`id`, `gd`, `cd`).
+    pub fn quantity(&self, name: &str) -> Option<f64> {
+        Some(match name {
+            "id" => self.id,
+            "gd" => self.gd,
+            "cd" => self.cd,
+            _ => return None,
+        })
+    }
+}
+
+/// An encapsulated diode evaluator.
+///
+/// # Examples
+///
+/// ```
+/// use oblx_devices::{DiodeModel, DiodeParams};
+///
+/// let d = DiodeModel::new("d1", DiodeParams::default());
+/// let fwd = d.op(1.0, 0.65);
+/// let rev = d.op(1.0, -5.0);
+/// assert!(fwd.id > 1e-6 && fwd.forward);
+/// assert!(rev.id < 0.0 && !rev.forward);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiodeModel {
+    name: String,
+    params: DiodeParams,
+}
+
+impl DiodeModel {
+    /// Creates an evaluator.
+    pub fn new(name: impl Into<String>, params: DiodeParams) -> Self {
+        DiodeModel {
+            name: name.into(),
+            params,
+        }
+    }
+
+    /// Creates an evaluator from a `.model` card (kind `d`).
+    pub fn from_card(card: &ModelCard) -> Option<DiodeModel> {
+        if card.kind != "d" && card.kind != "diode" {
+            return None;
+        }
+        Some(DiodeModel::new(
+            card.name.clone(),
+            DiodeParams::from_card(card),
+        ))
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying parameters.
+    pub fn params(&self) -> &DiodeParams {
+        &self.params
+    }
+
+    /// Evaluates the operating point at junction voltage `vd`
+    /// (anode − cathode), scaled by `area`.
+    ///
+    /// The exponential is linearized beyond 40·n·VT so the evaluator is
+    /// total over any annealing-proposed voltage.
+    pub fn op(&self, area: f64, vd: f64) -> DiodeOp {
+        let p = &self.params;
+        let a = area.max(1e-3);
+        let nvt = p.n * VT;
+        let x = vd / nvt;
+        const LIM: f64 = 40.0;
+        let (e, de) = if x < LIM {
+            let e = x.exp();
+            (e, e)
+        } else {
+            let e = LIM.exp();
+            (e * (1.0 + (x - LIM)), e)
+        };
+        let id = a * p.is * (e - 1.0);
+        let gd = a * p.is * de / nvt;
+        let c_dep = junction_cap(a * p.cj0, vd, p.vj, p.m);
+        let c_diff = p.tt * gd;
+        DiodeOp {
+            id,
+            gd,
+            cd: c_dep + c_diff,
+            forward: vd > 0.4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_law() {
+        let d = DiodeModel::new("d", DiodeParams::default());
+        let a = d.op(1.0, 0.60);
+        let b = d.op(1.0, 0.60 + VT * (10.0f64).ln());
+        // One decade of voltage in n·VT·ln(10) multiplies current by 10.
+        assert!((b.id / a.id - 10.0).abs() < 0.01, "{}", b.id / a.id);
+    }
+
+    #[test]
+    fn conductance_matches_finite_difference() {
+        let d = DiodeModel::new("d", DiodeParams::default());
+        let h = 1e-7;
+        for vd in [-2.0, 0.3, 0.65, 0.8] {
+            let op = d.op(1.0, vd);
+            let fd = (d.op(1.0, vd + h).id - d.op(1.0, vd - h).id) / (2.0 * h);
+            assert!(
+                (op.gd - fd).abs() <= 1e-3 * fd.abs().max(1e-15),
+                "vd={vd}: {} vs {}",
+                op.gd,
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn overflow_protected() {
+        let d = DiodeModel::new("d", DiodeParams::default());
+        let op = d.op(1.0, 50.0);
+        assert!(op.id.is_finite() && op.gd.is_finite());
+    }
+
+    #[test]
+    fn capacitance_grows_forward() {
+        let d = DiodeModel::new(
+            "d",
+            DiodeParams {
+                tt: 1e-9,
+                ..DiodeParams::default()
+            },
+        );
+        let rev = d.op(1.0, -3.0);
+        let fwd = d.op(1.0, 0.7);
+        assert!(fwd.cd > rev.cd);
+    }
+
+    #[test]
+    fn area_scaling() {
+        let d = DiodeModel::new("d", DiodeParams::default());
+        let one = d.op(1.0, 0.65);
+        let four = d.op(4.0, 0.65);
+        assert!((four.id / one.id - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_card_kinds() {
+        use std::collections::HashMap;
+        let card = ModelCard {
+            name: "dx".into(),
+            kind: "d".into(),
+            params: HashMap::from([("is".to_string(), 2e-15)]),
+        };
+        assert_eq!(DiodeModel::from_card(&card).unwrap().params().is, 2e-15);
+        let wrong = ModelCard {
+            name: "n".into(),
+            kind: "nmos".into(),
+            params: HashMap::new(),
+        };
+        assert!(DiodeModel::from_card(&wrong).is_none());
+    }
+}

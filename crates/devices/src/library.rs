@@ -1,0 +1,246 @@
+//! The model library: builds encapsulated evaluators from `.model` cards
+//! and hands them out by name.
+
+use crate::{BjtModel, DiodeModel, MosModel};
+use oblx_netlist::ModelCard;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A device evaluator of any family.
+#[derive(Debug, Clone)]
+pub enum DeviceModel {
+    /// A MOS evaluator.
+    Mos(MosModel),
+    /// A bipolar evaluator.
+    Bjt(BjtModel),
+    /// A junction-diode evaluator.
+    Diode(DiodeModel),
+}
+
+impl DeviceModel {
+    /// The model's name.
+    pub fn name(&self) -> &str {
+        match self {
+            DeviceModel::Mos(m) => m.name(),
+            DeviceModel::Bjt(b) => b.name(),
+            DeviceModel::Diode(d) => d.name(),
+        }
+    }
+}
+
+/// Error building or querying a [`ModelLibrary`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A `.model` card has an unsupported kind.
+    UnsupportedKind {
+        /// Model name.
+        name: String,
+        /// Offending kind string.
+        kind: String,
+    },
+    /// A device referenced a model that is not in the library.
+    Missing(String),
+    /// A device referenced a model of the wrong family (e.g. a MOSFET
+    /// card bound to an `npn` model).
+    WrongFamily(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnsupportedKind { name, kind } => {
+                write!(f, "model `{name}` has unsupported kind `{kind}`")
+            }
+            ModelError::Missing(n) => write!(f, "model `{n}` is not defined"),
+            ModelError::WrongFamily(n) => write!(f, "model `{n}` is the wrong device family"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+/// A name-indexed set of device evaluators.
+///
+/// # Examples
+///
+/// ```
+/// use oblx_devices::ModelLibrary;
+/// use oblx_netlist::parse_problem;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = parse_problem(".model n nmos level=1 vto=0.7\n.model q npn bf=80\n")?;
+/// let lib = ModelLibrary::from_cards(&p.models)?;
+/// assert!(lib.mos("n").is_ok());
+/// assert!(lib.bjt("q").is_ok());
+/// assert!(lib.mos("q").is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ModelLibrary {
+    models: HashMap<String, DeviceModel>,
+}
+
+impl ModelLibrary {
+    /// Creates an empty library.
+    pub fn new() -> Self {
+        ModelLibrary::default()
+    }
+
+    /// Builds a library from `.model` cards.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnsupportedKind`] for kinds other than
+    /// `nmos`/`pmos`/`npn`/`pnp`.
+    pub fn from_cards(cards: &[ModelCard]) -> Result<Self, ModelError> {
+        let mut lib = ModelLibrary::new();
+        for card in cards {
+            lib.add_card(card)?;
+        }
+        Ok(lib)
+    }
+
+    /// Adds one `.model` card.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnsupportedKind`] for unknown kinds.
+    pub fn add_card(&mut self, card: &ModelCard) -> Result<(), ModelError> {
+        let model = if let Some(m) = MosModel::from_card(card) {
+            DeviceModel::Mos(m)
+        } else if let Some(b) = BjtModel::from_card(card) {
+            DeviceModel::Bjt(b)
+        } else if let Some(d) = DiodeModel::from_card(card) {
+            DeviceModel::Diode(d)
+        } else {
+            return Err(ModelError::UnsupportedKind {
+                name: card.name.clone(),
+                kind: card.kind.clone(),
+            });
+        };
+        self.models.insert(card.name.clone(), model);
+        Ok(())
+    }
+
+    /// Inserts an already-built model (used by the process decks).
+    pub fn insert(&mut self, model: DeviceModel) {
+        self.models.insert(model.name().to_string(), model);
+    }
+
+    /// Looks up any model by name.
+    pub fn get(&self, name: &str) -> Option<&DeviceModel> {
+        self.models.get(name)
+    }
+
+    /// Number of models in the library.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// `true` when the library holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Looks up a MOS model by name.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Missing`] / [`ModelError::WrongFamily`].
+    pub fn mos(&self, name: &str) -> Result<&MosModel, ModelError> {
+        match self.models.get(name) {
+            Some(DeviceModel::Mos(m)) => Ok(m),
+            Some(_) => Err(ModelError::WrongFamily(name.to_string())),
+            None => Err(ModelError::Missing(name.to_string())),
+        }
+    }
+
+    /// Looks up a bipolar model by name.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Missing`] / [`ModelError::WrongFamily`].
+    pub fn bjt(&self, name: &str) -> Result<&BjtModel, ModelError> {
+        match self.models.get(name) {
+            Some(DeviceModel::Bjt(b)) => Ok(b),
+            Some(_) => Err(ModelError::WrongFamily(name.to_string())),
+            None => Err(ModelError::Missing(name.to_string())),
+        }
+    }
+
+    /// Looks up a diode model by name.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Missing`] / [`ModelError::WrongFamily`].
+    pub fn diode(&self, name: &str) -> Result<&DiodeModel, ModelError> {
+        match self.models.get(name) {
+            Some(DeviceModel::Diode(d)) => Ok(d),
+            Some(_) => Err(ModelError::WrongFamily(name.to_string())),
+            None => Err(ModelError::Missing(name.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap as Map;
+
+    fn card(name: &str, kind: &str) -> ModelCard {
+        ModelCard {
+            name: name.into(),
+            kind: kind.into(),
+            params: Map::new(),
+        }
+    }
+
+    #[test]
+    fn builds_all_families() {
+        let cards = vec![
+            card("n", "nmos"),
+            card("p", "pmos"),
+            card("q", "npn"),
+            card("qp", "pnp"),
+        ];
+        let lib = ModelLibrary::from_cards(&cards).unwrap();
+        assert_eq!(lib.len(), 4);
+        assert!(lib.mos("n").is_ok());
+        assert!(lib.mos("p").is_ok());
+        assert!(lib.bjt("q").is_ok());
+        assert!(lib.bjt("qp").is_ok());
+    }
+
+    #[test]
+    fn unsupported_kind_rejected() {
+        let err = ModelLibrary::from_cards(&[card("j", "jfet")]).unwrap_err();
+        assert!(matches!(err, ModelError::UnsupportedKind { .. }));
+    }
+
+    #[test]
+    fn diode_models_supported() {
+        let lib = ModelLibrary::from_cards(&[card("dj", "d")]).unwrap();
+        assert!(lib.diode("dj").is_ok());
+        assert!(lib.mos("dj").is_err());
+    }
+
+    #[test]
+    fn wrong_family_and_missing() {
+        let lib = ModelLibrary::from_cards(&[card("n", "nmos")]).unwrap();
+        assert_eq!(
+            lib.bjt("n").unwrap_err(),
+            ModelError::WrongFamily("n".into())
+        );
+        assert_eq!(lib.mos("zz").unwrap_err(), ModelError::Missing("zz".into()));
+    }
+
+    #[test]
+    fn later_cards_override() {
+        let mut c2 = card("n", "nmos");
+        c2.params.insert("vto".into(), 0.9);
+        let lib = ModelLibrary::from_cards(&[card("n", "nmos"), c2]).unwrap();
+        assert_eq!(lib.mos("n").unwrap().params().vto, 0.9);
+    }
+}

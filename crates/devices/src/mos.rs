@@ -1,0 +1,538 @@
+//! Terminal-frame MOS evaluator: polarity normalization, source/drain
+//! inversion handling, and the public operating-point struct.
+
+use crate::caps::{mos_caps, MosCaps};
+use crate::mos_iv::{bsim1, level1, level3, MosParams, RawIv, RawRegion};
+use oblx_netlist::ModelCard;
+
+/// Device polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Polarity {
+    /// n-channel.
+    Nmos,
+    /// p-channel.
+    Pmos,
+}
+
+impl Polarity {
+    fn sign(self) -> f64 {
+        match self {
+            Polarity::Nmos => 1.0,
+            Polarity::Pmos => -1.0,
+        }
+    }
+}
+
+/// Operating region reported in the terminal frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// Below threshold (possibly with a weak-inversion tail).
+    Cutoff,
+    /// Linear / ohmic operation.
+    Triode,
+    /// Saturation — the analog designer's home region.
+    Saturation,
+}
+
+impl From<RawRegion> for Region {
+    fn from(r: RawRegion) -> Region {
+        match r {
+            RawRegion::Cutoff => Region::Cutoff,
+            RawRegion::Triode => Region::Triode,
+            RawRegion::Saturation => Region::Saturation,
+        }
+    }
+}
+
+/// A complete MOS operating point in the **terminal frame**.
+///
+/// `id` is the current flowing from the drain terminal through the
+/// channel to the source terminal (negative for PMOS in normal
+/// operation). The conductance triple are the derivatives of that same
+/// current with respect to the *terminal* `v(g,s)`, `v(d,s)`, `v(b,s)`;
+/// together they give the full Jacobian of the terminal currents:
+///
+/// ```text
+/// ∂I_d/∂v_g = gm      ∂I_d/∂v_d = gds      ∂I_d/∂v_b = gmbs
+/// ∂I_d/∂v_s = −(gm + gds + gmbs)
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MosOp {
+    /// Channel current drain→source (A), terminal frame.
+    pub id: f64,
+    /// ∂id/∂v(g,s) (S).
+    pub gm: f64,
+    /// ∂id/∂v(d,s) (S).
+    pub gds: f64,
+    /// ∂id/∂v(b,s) (S).
+    pub gmbs: f64,
+    /// Small-signal capacitances, terminal frame.
+    pub caps: MosCaps,
+    /// Threshold voltage (normalized frame, positive convention).
+    pub vth: f64,
+    /// Saturation voltage (normalized frame).
+    pub vdsat: f64,
+    /// |vds| − vdsat: positive when safely saturated.
+    pub sat_margin: f64,
+    /// Operating region.
+    pub region: Region,
+    /// `true` when source/drain roles were swapped (vds reversed).
+    pub inverted: bool,
+    /// Normalized-frame gate–source voltage (positive convention).
+    pub vgs_n: f64,
+    /// Normalized-frame drain–source voltage.
+    pub vds_n: f64,
+    /// Gate width used (m).
+    pub w: f64,
+    /// Gate length used (m).
+    pub l: f64,
+}
+
+impl MosOp {
+    /// Looks up a named operating-point quantity, as referenced from
+    /// specification expressions (e.g. `xamp.m1.cd`).
+    ///
+    /// Known names: `id`, `gm`, `gds`, `gmbs`, `vth`, `vdsat`, `vov`,
+    /// `cgs`, `cgd`, `cgb`, `cbd`, `cbs`, `cd` (total drain load
+    /// `cbd + cgd`), `cs` (total source load `cbs + cgs`), `satmargin`,
+    /// `area` (`w·l`), `w`, `l`.
+    pub fn quantity(&self, name: &str) -> Option<f64> {
+        Some(match name {
+            "id" => self.id,
+            "gm" => self.gm,
+            "gds" => self.gds,
+            "gmbs" => self.gmbs,
+            "vth" => self.vth,
+            "vdsat" => self.vdsat,
+            "vov" => self.vdsat, // level-1 vdsat == overdrive
+            "cgs" => self.caps.cgs,
+            "cgd" => self.caps.cgd,
+            "cgb" => self.caps.cgb,
+            "cbd" => self.caps.cbd,
+            "cbs" => self.caps.cbs,
+            "cd" => self.caps.cbd + self.caps.cgd,
+            "cs" => self.caps.cbs + self.caps.cgs,
+            "satmargin" => self.sat_margin,
+            "area" => self.w * self.l,
+            "w" => self.w,
+            "l" => self.l,
+            _ => return None,
+        })
+    }
+}
+
+/// An encapsulated MOS device evaluator: a parameter set, a polarity, and
+/// a model level.
+///
+/// # Examples
+///
+/// ```
+/// use oblx_devices::{MosModel, Polarity, Region, MosParams};
+///
+/// let m = MosModel::new("n1", Polarity::Nmos, MosParams::default());
+/// // 10/1 device, vd=3, vg=2, vs=0, vb=0 → saturation.
+/// let op = m.op(10e-6, 1e-6, 3.0, 2.0, 0.0, 0.0);
+/// assert_eq!(op.region, Region::Saturation);
+/// assert!(op.id > 0.0 && op.gm > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MosModel {
+    name: String,
+    polarity: Polarity,
+    params: MosParams,
+}
+
+impl MosModel {
+    /// Creates an evaluator from explicit parameters.
+    pub fn new(name: impl Into<String>, polarity: Polarity, params: MosParams) -> Self {
+        MosModel {
+            name: name.into(),
+            polarity,
+            params,
+        }
+    }
+
+    /// Creates an evaluator from a `.model` card (kind `nmos`/`pmos`).
+    ///
+    /// Following SPICE convention, a PMOS card carries a negative `vto`;
+    /// it is flipped into the internal normalized (NMOS-like) frame here.
+    /// All other parameters are interpreted directly in the normalized
+    /// frame.
+    pub fn from_card(card: &ModelCard) -> Option<MosModel> {
+        let polarity = match card.kind.as_str() {
+            "nmos" => Polarity::Nmos,
+            "pmos" => Polarity::Pmos,
+            _ => return None,
+        };
+        let mut params = MosParams::from_card(card);
+        if polarity == Polarity::Pmos {
+            params.vto = -params.vto;
+        }
+        Some(MosModel::new(card.name.clone(), polarity, params))
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Device polarity.
+    pub fn polarity(&self) -> Polarity {
+        self.polarity
+    }
+
+    /// The underlying parameter set.
+    pub fn params(&self) -> &MosParams {
+        &self.params
+    }
+
+    /// Extrinsic drain/source resistances; nonzero values imply internal
+    /// nodes in the device template.
+    pub fn series_resistance(&self) -> (f64, f64) {
+        (self.params.rd, self.params.rs)
+    }
+
+    /// Shifts the threshold voltage in the normalized frame by `dv`
+    /// volts — per-instance mismatch injection for Monte-Carlo yield
+    /// analysis. BSIM-style cards carry the threshold through `vfb`
+    /// (`vth = vfb + φ + …`), which therefore shifts by the same `dv`.
+    pub fn shift_vto(&mut self, dv: f64) {
+        self.params.vto += dv;
+        if self.params.level == 4 {
+            self.params.vfb += dv;
+        }
+    }
+
+    fn core(&self, w: f64, l: f64, vgs: f64, vds: f64, vbs: f64) -> RawIv {
+        match self.params.level {
+            3 => level3(&self.params, w, l, vgs, vds, vbs),
+            4 => bsim1(&self.params, w, l, vgs, vds, vbs),
+            _ => level1(&self.params, w, l, vgs, vds, vbs),
+        }
+    }
+
+    /// Evaluates the full operating point at absolute terminal voltages
+    /// `(vd, vg, vs, vb)` for a `w × l` device.
+    ///
+    /// The evaluator is total: any finite voltages yield a finite
+    /// operating point (clamps and linearized extensions are applied
+    /// internally), which the annealer relies on when exploring wild
+    /// configurations.
+    pub fn op(&self, w: f64, l: f64, vd: f64, vg: f64, vs: f64, vb: f64) -> MosOp {
+        let s = self.polarity.sign();
+        // Normalized (NMOS-convention) voltages.
+        let vgs_n = s * (vg - vs);
+        let vds_n = s * (vd - vs);
+        let vbs_n = s * (vb - vs);
+
+        let inverted = vds_n < 0.0;
+        let (iv, caps_n) = if !inverted {
+            let iv = self.core(w, l, vgs_n, vds_n, vbs_n);
+            let caps = mos_caps(&self.params, w, l, iv.region, vds_n, iv.vdsat, vbs_n);
+            (iv, caps)
+        } else {
+            // Swap source/drain roles: evaluate at the swapped frame and
+            // map current and derivatives back.
+            let vgs_i = vgs_n - vds_n;
+            let vds_i = -vds_n;
+            let vbs_i = vbs_n - vds_n;
+            let raw = self.core(w, l, vgs_i, vds_i, vbs_i);
+            let mapped = RawIv {
+                id: -raw.id,
+                gm: -raw.gm,
+                gds: raw.gm + raw.gds + raw.gmbs,
+                gmbs: -raw.gmbs,
+                vth: raw.vth,
+                vdsat: raw.vdsat,
+                region: raw.region,
+            };
+            let c = mos_caps(&self.params, w, l, raw.region, vds_i, raw.vdsat, vbs_i);
+            // Swap source/drain-referred capacitances back to terminals.
+            let caps = MosCaps {
+                cgs: c.cgd,
+                cgd: c.cgs,
+                cgb: c.cgb,
+                cbd: c.cbs,
+                cbs: c.cbd,
+            };
+            (mapped, caps)
+        };
+
+        MosOp {
+            // Terminal current flips sign for PMOS; derivatives do not
+            // (two sign flips cancel).
+            id: s * iv.id,
+            gm: iv.gm,
+            gds: iv.gds,
+            gmbs: iv.gmbs,
+            caps: caps_n,
+            vth: iv.vth,
+            vdsat: iv.vdsat,
+            sat_margin: vds_n.abs() - iv.vdsat,
+            region: iv.region.into(),
+            inverted,
+            vgs_n,
+            vds_n,
+            w,
+            l,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nmos() -> MosModel {
+        MosModel::new(
+            "n",
+            Polarity::Nmos,
+            MosParams {
+                kp: 1.0e-4,
+                ..MosParams::default()
+            },
+        )
+    }
+
+    fn pmos() -> MosModel {
+        MosModel::new(
+            "p",
+            Polarity::Pmos,
+            MosParams {
+                kp: 4.0e-5,
+                vto: 0.8, // normalized-frame convention: positive
+                ..MosParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn nmos_normal_operation() {
+        let op = nmos().op(10e-6, 1e-6, 3.0, 2.0, 0.0, 0.0);
+        assert_eq!(op.region, Region::Saturation);
+        assert!(!op.inverted);
+        assert!(op.id > 0.0);
+        assert!(op.sat_margin > 0.0);
+    }
+
+    #[test]
+    fn pmos_normal_operation_current_is_negative() {
+        // Source at 5 V, gate at 3 V, drain at 2 V: |vgs|=2 > |vto|.
+        let op = pmos().op(10e-6, 1e-6, 2.0, 3.0, 5.0, 5.0);
+        assert_eq!(op.region, Region::Saturation);
+        assert!(op.id < 0.0, "PMOS drain current flows source→drain");
+        assert!(op.gm > 0.0 && op.gds > 0.0);
+    }
+
+    #[test]
+    fn pmos_mirrors_nmos_magnitudes() {
+        // A PMOS biased as the mirror image of an NMOS must carry the
+        // mirrored current (same kp for this check).
+        let n = nmos();
+        let p = MosModel::new("p", Polarity::Pmos, n.params().clone());
+        let opn = n.op(10e-6, 1e-6, 2.5, 1.8, 0.0, 0.0);
+        let opp = p.op(10e-6, 1e-6, 5.0 - 2.5, 5.0 - 1.8, 5.0, 5.0);
+        assert!((opn.id + opp.id).abs() < 1e-15);
+        assert!((opn.gm - opp.gm).abs() < 1e-12);
+        assert!((opn.gds - opp.gds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_mode_is_odd_symmetric() {
+        // Swapping drain and source must negate the channel current.
+        let m = nmos();
+        let fwd = m.op(10e-6, 1e-6, 0.2, 2.0, 0.0, 0.0);
+        let rev = m.op(10e-6, 1e-6, 0.0, 2.0, 0.2, 0.0);
+        assert!(!fwd.inverted && rev.inverted);
+        assert!((fwd.id + rev.id).abs() < 1e-12 * fwd.id.abs().max(1e-12));
+    }
+
+    #[test]
+    fn inverted_derivatives_match_finite_difference() {
+        let m = nmos();
+        let (w, l) = (10e-6, 1e-6);
+        let (vd, vg, vs, vb) = (0.0, 2.0, 0.8, -0.3);
+        let op = m.op(w, l, vd, vg, vs, vb);
+        assert!(op.inverted);
+        let h = 1e-6;
+        let fd_gm =
+            (m.op(w, l, vd, vg + h, vs, vb).id - m.op(w, l, vd, vg - h, vs, vb).id) / (2.0 * h);
+        let fd_gds =
+            (m.op(w, l, vd + h, vg, vs, vb).id - m.op(w, l, vd - h, vg, vs, vb).id) / (2.0 * h);
+        let fd_gmbs =
+            (m.op(w, l, vd, vg, vs, vb + h).id - m.op(w, l, vd, vg, vs, vb - h).id) / (2.0 * h);
+        assert!(
+            (op.gm - fd_gm).abs() < 1e-3 * fd_gm.abs().max(1e-9),
+            "{} {}",
+            op.gm,
+            fd_gm
+        );
+        assert!(
+            (op.gds - fd_gds).abs() < 1e-3 * fd_gds.abs().max(1e-9),
+            "{} {}",
+            op.gds,
+            fd_gds
+        );
+        assert!(
+            (op.gmbs - fd_gmbs).abs() < 2e-3 * fd_gmbs.abs().max(1e-9),
+            "{} {}",
+            op.gmbs,
+            fd_gmbs
+        );
+    }
+
+    #[test]
+    fn source_jacobian_row_sums() {
+        // ∂I_d/∂v_s must equal −(gm + gds + gmbs).
+        let m = nmos();
+        let (w, l) = (10e-6, 1e-6);
+        let (vd, vg, vs, vb) = (3.0, 2.0, 0.5, 0.0);
+        let op = m.op(w, l, vd, vg, vs, vb);
+        let h = 1e-6;
+        let fd =
+            (m.op(w, l, vd, vg, vs + h, vb).id - m.op(w, l, vd, vg, vs - h, vb).id) / (2.0 * h);
+        let expect = -(op.gm + op.gds + op.gmbs);
+        assert!((fd - expect).abs() < 1e-3 * expect.abs().max(1e-9));
+    }
+
+    #[test]
+    fn quantities_accessible() {
+        let op = nmos().op(10e-6, 1e-6, 3.0, 2.0, 0.0, 0.0);
+        assert_eq!(op.quantity("id"), Some(op.id));
+        assert_eq!(op.quantity("cd"), Some(op.caps.cbd + op.caps.cgd));
+        assert!((op.quantity("area").unwrap() - 1e-11).abs() < 1e-24);
+        assert_eq!(op.quantity("bogus"), None);
+    }
+
+    #[test]
+    fn evaluator_is_total_for_wild_voltages() {
+        let m = nmos();
+        for vd in [-10.0, 0.0, 10.0] {
+            for vg in [-10.0, 0.0, 10.0] {
+                for vs in [-10.0, 0.0, 10.0] {
+                    for vb in [-10.0, 10.0] {
+                        let op = m.op(1e-6, 1e-6, vd, vg, vs, vb);
+                        assert!(op.id.is_finite());
+                        assert!(op.gm.is_finite() && op.gds.is_finite() && op.gmbs.is_finite());
+                        assert!(op.caps.cgs.is_finite() && op.caps.cbd.is_finite());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn continuity_across_vds_sweep() {
+        // The cost surface the annealer walks must not have current
+        // jumps: sweep vds finely through the triode/saturation
+        // boundary for every model level and bound the step-to-step
+        // change.
+        use crate::MosParams;
+        for level in [1u32, 3, 4] {
+            let m = MosModel::new(
+                "n",
+                Polarity::Nmos,
+                MosParams {
+                    level,
+                    kp: 1.0e-4,
+                    u0: 0.06,
+                    theta: 0.08,
+                    vmax: 1.5e5,
+                    eta: 0.01,
+                    u1: 2e-8,
+                    ..MosParams::default()
+                },
+            );
+            let mut last: Option<f64> = None;
+            let steps = 400;
+            for i in 0..=steps {
+                let vds = 3.0 * i as f64 / steps as f64;
+                let op = m.op(20e-6, 2e-6, vds, 1.8, 0.0, 0.0);
+                if let Some(prev) = last {
+                    let jump = (op.id - prev).abs();
+                    assert!(
+                        jump < 2e-5,
+                        "level {level}: id jump {jump:.3e} at vds = {vds:.4}"
+                    );
+                }
+                last = Some(op.id);
+            }
+        }
+    }
+
+    #[test]
+    fn continuity_across_vgs_sweep() {
+        // Same through the cutoff/strong-inversion boundary.
+        use crate::MosParams;
+        for level in [1u32, 3, 4] {
+            let m = MosModel::new(
+                "n",
+                Polarity::Nmos,
+                MosParams {
+                    level,
+                    kp: 1.0e-4,
+                    u0: 0.06,
+                    ..MosParams::default()
+                },
+            );
+            let mut last: Option<f64> = None;
+            let steps = 400;
+            for i in 0..=steps {
+                let vgs = 2.0 * i as f64 / steps as f64;
+                let op = m.op(20e-6, 2e-6, 2.5, vgs, 0.0, 0.0);
+                if let Some(prev) = last {
+                    assert!(
+                        (op.id - prev).abs() < 2e-5,
+                        "level {level}: id jump at vgs = {vgs:.4}"
+                    );
+                }
+                last = Some(op.id);
+            }
+        }
+    }
+
+    #[test]
+    fn vto_shift_changes_current_both_families() {
+        use crate::MosParams;
+        for level in [1u32, 4] {
+            let mut m = MosModel::new(
+                "n",
+                Polarity::Nmos,
+                MosParams {
+                    level,
+                    kp: 1e-4,
+                    u0: 0.05,
+                    ..MosParams::default()
+                },
+            );
+            let before = m.op(20e-6, 2e-6, 2.5, 1.5, 0.0, 0.0).id;
+            m.shift_vto(0.05); // slower device
+            let after = m.op(20e-6, 2e-6, 2.5, 1.5, 0.0, 0.0).id;
+            assert!(
+                after < before,
+                "level {level}: +50 mV vto must cut current ({before} → {after})"
+            );
+        }
+    }
+
+    #[test]
+    fn from_card_reads_polarity() {
+        use std::collections::HashMap;
+        let card = ModelCard {
+            name: "pfet".into(),
+            kind: "pmos".into(),
+            params: HashMap::from([("vto".to_string(), 0.8)]),
+        };
+        let m = MosModel::from_card(&card).unwrap();
+        assert_eq!(m.polarity(), Polarity::Pmos);
+        // SPICE-convention negative vto would normalize to +0.8; a
+        // positive card value normalizes to −0.8 (depletion).
+        assert_eq!(m.params().vto, -0.8);
+        let bad = ModelCard {
+            name: "x".into(),
+            kind: "npn".into(),
+            params: HashMap::new(),
+        };
+        assert!(MosModel::from_card(&bad).is_none());
+    }
+}

@@ -1,0 +1,582 @@
+//! MOS I–V cores in the *normalized frame*: NMOS-convention voltages with
+//! `vds ≥ 0`. Polarity flipping and source/drain swapping live in
+//! [`crate::mos`]; the cores only ever see a forward-biased NMOS-like
+//! device.
+
+use oblx_netlist::ModelCard;
+
+/// Thermal voltage at room temperature (V).
+pub(crate) const VT: f64 = 0.025852;
+/// Gate-oxide permittivity (F/m).
+const EPS_OX: f64 = 3.9 * 8.854e-12;
+
+/// The MOS parameter set shared by every model level.
+///
+/// Parameters follow SPICE naming; unset card values take SPICE-flavoured
+/// defaults. Geometry-independent — geometry arrives per evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MosParams {
+    /// Model level: 1 (Shichman–Hodges), 3 (semi-empirical), 4
+    /// (BSIM1-style).
+    pub level: u32,
+    /// Zero-bias threshold voltage (V), NMOS-positive convention.
+    pub vto: f64,
+    /// Transconductance parameter `µ·Cox` (A/V²); used when `u0 == 0`.
+    pub kp: f64,
+    /// Low-field mobility (m²/V·s); overrides `kp` via `kp = u0·cox`.
+    pub u0: f64,
+    /// Body-effect coefficient γ (√V).
+    pub gamma: f64,
+    /// Surface potential 2φF (V).
+    pub phi: f64,
+    /// Channel-length modulation λ (1/V) — level 1.
+    pub lambda: f64,
+    /// Oxide thickness (m).
+    pub tox: f64,
+    /// Lateral diffusion (m); `leff = l − 2·ld`.
+    pub ld: f64,
+    /// Mobility degradation θ (1/V) — levels 3/4.
+    pub theta: f64,
+    /// Maximum carrier velocity (m/s) — level 3; 0 disables.
+    pub vmax: f64,
+    /// Static-feedback (DIBL) coefficient η (V/V) — levels 3/4.
+    pub eta: f64,
+    /// Saturation-region output-conductance coefficient κ — level 3.
+    pub kappa: f64,
+    /// BSIM flat-band voltage (V).
+    pub vfb: f64,
+    /// BSIM body-effect coefficients.
+    pub k1: f64,
+    /// Second-order body-effect correction.
+    pub k2: f64,
+    /// BSIM velocity-saturation coefficient u1 (m/V).
+    pub u1: f64,
+    /// Subthreshold ideality (BSIM weak-inversion tail); 0 disables.
+    pub n_sub: f64,
+    /// Gate-source overlap capacitance per width (F/m).
+    pub cgso: f64,
+    /// Gate-drain overlap capacitance per width (F/m).
+    pub cgdo: f64,
+    /// Gate-bulk overlap capacitance per length (F/m).
+    pub cgbo: f64,
+    /// Zero-bias junction capacitance per area (F/m²).
+    pub cj: f64,
+    /// Junction grading coefficient.
+    pub mj: f64,
+    /// Junction built-in potential (V).
+    pub pb: f64,
+    /// Sidewall capacitance per perimeter (F/m).
+    pub cjsw: f64,
+    /// Sidewall grading coefficient.
+    pub mjsw: f64,
+    /// Source/drain diffusion extent (m); sets junction area `w·ldif`.
+    pub ldif: f64,
+    /// Extrinsic drain resistance (Ω); > 0 adds an internal drain node.
+    pub rd: f64,
+    /// Extrinsic source resistance (Ω); > 0 adds an internal source node.
+    pub rs: f64,
+}
+
+impl Default for MosParams {
+    fn default() -> Self {
+        MosParams {
+            level: 1,
+            vto: 0.7,
+            kp: 2.0e-5,
+            u0: 0.0,
+            gamma: 0.4,
+            phi: 0.65,
+            lambda: 0.02,
+            tox: 40e-9,
+            ld: 0.0,
+            theta: 0.0,
+            vmax: 0.0,
+            eta: 0.0,
+            kappa: 0.2,
+            vfb: -0.3,
+            k1: 0.5,
+            k2: 0.02,
+            u1: 0.0,
+            n_sub: 1.5,
+            cgso: 2.0e-10,
+            cgdo: 2.0e-10,
+            cgbo: 2.0e-10,
+            cj: 3.0e-4,
+            mj: 0.5,
+            pb: 0.8,
+            cjsw: 3.0e-10,
+            mjsw: 0.33,
+            ldif: 2.5e-6,
+            rd: 0.0,
+            rs: 0.0,
+        }
+    }
+}
+
+impl MosParams {
+    /// Builds parameters from a `.model` card, applying defaults for
+    /// missing entries.
+    pub fn from_card(card: &ModelCard) -> MosParams {
+        let mut p = MosParams::default();
+        let g = |k: &str, d: f64| card.params.get(k).copied().unwrap_or(d);
+        p.level = g("level", 1.0) as u32;
+        p.vto = g("vto", p.vto);
+        p.kp = g("kp", p.kp);
+        p.u0 = g("u0", p.u0);
+        p.gamma = g("gamma", p.gamma);
+        p.phi = g("phi", p.phi);
+        p.lambda = g("lambda", p.lambda);
+        p.tox = g("tox", p.tox);
+        p.ld = g("ld", p.ld);
+        p.theta = g("theta", p.theta);
+        p.vmax = g("vmax", p.vmax);
+        p.eta = g("eta", p.eta);
+        p.kappa = g("kappa", p.kappa);
+        p.vfb = g("vfb", p.vfb);
+        p.k1 = g("k1", p.k1);
+        p.k2 = g("k2", p.k2);
+        p.u1 = g("u1", p.u1);
+        p.n_sub = g("nsub", p.n_sub);
+        p.cgso = g("cgso", p.cgso);
+        p.cgdo = g("cgdo", p.cgdo);
+        p.cgbo = g("cgbo", p.cgbo);
+        p.cj = g("cj", p.cj);
+        p.mj = g("mj", p.mj);
+        p.pb = g("pb", p.pb);
+        p.cjsw = g("cjsw", p.cjsw);
+        p.mjsw = g("mjsw", p.mjsw);
+        p.ldif = g("ldif", p.ldif);
+        p.rd = g("rd", p.rd);
+        p.rs = g("rs", p.rs);
+        p
+    }
+
+    /// Oxide capacitance per unit area (F/m²).
+    pub fn cox(&self) -> f64 {
+        EPS_OX / self.tox
+    }
+
+    /// Effective channel length for `l` (m), floored at 10 nm.
+    pub fn leff(&self, l: f64) -> f64 {
+        (l - 2.0 * self.ld).max(1e-8)
+    }
+
+    /// The gain factor `kp_eff · w/leff` (A/V²).
+    pub fn beta(&self, w: f64, l: f64) -> f64 {
+        let kp = if self.u0 > 0.0 {
+            self.u0 * self.cox()
+        } else {
+            self.kp
+        };
+        kp * w / self.leff(l)
+    }
+}
+
+/// Operating region of a MOS device (normalized frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RawRegion {
+    /// `vgs` below threshold.
+    #[default]
+    Cutoff,
+    /// `vds < vdsat`.
+    Triode,
+    /// `vds ≥ vdsat`.
+    Saturation,
+}
+
+/// Result of an I–V core evaluation in the normalized frame.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RawIv {
+    /// Drain current, drain→source (A); ≥ 0 in the normalized frame.
+    pub id: f64,
+    /// ∂id/∂vgs (S).
+    pub gm: f64,
+    /// ∂id/∂vds (S).
+    pub gds: f64,
+    /// ∂id/∂vbs (S).
+    pub gmbs: f64,
+    /// Threshold voltage at this bias (V).
+    pub vth: f64,
+    /// Saturation voltage (V).
+    pub vdsat: f64,
+    /// Operating region.
+    pub region: RawRegion,
+}
+
+/// Threshold voltage with body effect and a clamped square root so the
+/// evaluator stays finite for any annealing-proposed voltage.
+fn vth_body(vto: f64, gamma: f64, phi: f64, vbs: f64) -> (f64, f64) {
+    let arg = (phi - vbs).max(1e-4);
+    let sq = arg.sqrt();
+    let vth = vto + gamma * (sq - phi.max(1e-4).sqrt());
+    let dvth_dvbs = -gamma / (2.0 * sq);
+    (vth, dvth_dvbs)
+}
+
+/// Level-1 (Shichman–Hodges) core with channel-length modulation — exact
+/// analytic derivatives.
+pub(crate) fn level1(p: &MosParams, w: f64, l: f64, vgs: f64, vds: f64, vbs: f64) -> RawIv {
+    let (vth, dvth) = vth_body(p.vto, p.gamma, p.phi, vbs);
+    let beta = p.beta(w, l);
+    let vov = vgs - vth;
+    let mut out = RawIv {
+        vth,
+        vdsat: vov.max(0.0),
+        ..RawIv::default()
+    };
+    if vov <= 0.0 {
+        out.region = RawRegion::Cutoff;
+        return out;
+    }
+    let clm = 1.0 + p.lambda * vds;
+    if vds < vov {
+        out.region = RawRegion::Triode;
+        out.id = beta * (vov - 0.5 * vds) * vds * clm;
+        out.gm = beta * vds * clm;
+        out.gds = beta * (vov - vds) * clm + beta * (vov - 0.5 * vds) * vds * p.lambda;
+    } else {
+        out.region = RawRegion::Saturation;
+        out.id = 0.5 * beta * vov * vov * clm;
+        out.gm = beta * vov * clm;
+        out.gds = 0.5 * beta * vov * vov * p.lambda;
+    }
+    out.gmbs = -out.gm * dvth; // dvth < 0 ⇒ gmbs > 0
+    out
+}
+
+/// Level-3-style semi-empirical core: mobility degradation (θ), velocity
+/// saturation (vmax), DIBL (η) and κ-controlled output conductance.
+/// Derivatives are obtained by central differences on the current
+/// equation — the encapsulation boundary makes this invisible to the
+/// synthesis formulation.
+pub(crate) fn level3(p: &MosParams, w: f64, l: f64, vgs: f64, vds: f64, vbs: f64) -> RawIv {
+    numeric_iv(p, w, l, vgs, vds, vbs, level3_id)
+}
+
+fn level3_id(
+    p: &MosParams,
+    w: f64,
+    l: f64,
+    vgs: f64,
+    vds: f64,
+    vbs: f64,
+) -> (f64, f64, f64, RawRegion) {
+    let (vth0, _) = vth_body(p.vto, p.gamma, p.phi, vbs);
+    // DIBL washes out with channel length (reference length 2 µm).
+    let eta = p.eta * (2.0e-6 / p.leff(l)).min(4.0);
+    let vth = vth0 - eta * vds;
+    let vov = vgs - vth;
+    if vov <= 0.0 {
+        return (0.0, vth, 0.0, RawRegion::Cutoff);
+    }
+    let leff = p.leff(l);
+    let ueff_factor = 1.0 / (1.0 + p.theta * vov);
+    let beta = p.beta(w, l) * ueff_factor;
+    // Velocity-saturation critical voltage.
+    let u0 = if p.u0 > 0.0 { p.u0 } else { p.kp / p.cox() };
+    let vc = if p.vmax > 0.0 {
+        p.vmax * leff / (u0 * ueff_factor)
+    } else {
+        f64::INFINITY
+    };
+    let vdsat = if vc.is_finite() {
+        vov * vc / (vov + vc)
+    } else {
+        vov
+    };
+    let vel = |v: f64| 1.0 + if vc.is_finite() { v / vc } else { 0.0 };
+    if vds < vdsat {
+        let id = beta * (vov - 0.5 * vds) * vds / vel(vds);
+        (id, vth, vdsat, RawRegion::Triode)
+    } else {
+        let idsat = beta * (vov - 0.5 * vdsat) * vdsat / vel(vdsat);
+        let id = idsat * (1.0 + p.kappa * (vds - vdsat) / leff.max(1e-7) * 1e-7);
+        (id, vth, vdsat, RawRegion::Saturation)
+    }
+}
+
+/// BSIM1-style core: flat-band-referenced threshold with first- and
+/// second-order body effect, DIBL, vertical-field mobility degradation
+/// and velocity saturation, plus a weak-inversion exponential tail that
+/// keeps the device conductive (and Newton-friendly) below threshold.
+pub(crate) fn bsim1(p: &MosParams, w: f64, l: f64, vgs: f64, vds: f64, vbs: f64) -> RawIv {
+    numeric_iv(p, w, l, vgs, vds, vbs, bsim1_id)
+}
+
+fn bsim1_id(
+    p: &MosParams,
+    w: f64,
+    l: f64,
+    vgs: f64,
+    vds: f64,
+    vbs: f64,
+) -> (f64, f64, f64, RawRegion) {
+    let sphi = (p.phi - vbs).max(1e-4);
+    let leff = p.leff(l);
+    // Short-channel effects scale away with channel length: the card's
+    // eta is the value at a 2 µm reference length, as is the implicit
+    // channel-length-modulation coefficient below. This is the physical
+    // lever (longer L → higher intrinsic gain) that cascode sizing
+    // exploits.
+    let lscale = (2.0e-6 / leff).min(4.0);
+    let eta = p.eta * lscale;
+    let vth = p.vfb + p.phi + p.k1 * sphi.sqrt() - p.k2 * sphi - eta * vds;
+    let vov = vgs - vth;
+    // Body-effect linearization coefficient.
+    let g = 1.0 - 1.0 / (1.744 + 0.8364 * sphi);
+    let a = 1.0 + g * p.k1 / (2.0 * sphi.sqrt());
+    let beta0 = p.beta(w, l);
+    let nvt = p.n_sub.max(1.0) * VT;
+
+    // Weak-inversion tail, saturating at vov = 0 so the total current is
+    // continuous across threshold (the tail simply rides along as a
+    // constant floor in strong inversion).
+    let i0 = 0.5 * beta0 / a * nvt * nvt;
+    let vds_factor = 1.0 - (-vds / VT).exp();
+    let tail = i0 * (vov.min(0.0) / nvt).exp() * vds_factor;
+    if vov <= 0.0 {
+        return (tail, vth, 0.0, RawRegion::Cutoff);
+    }
+    let mob = 1.0 / (1.0 + p.theta * vov);
+    let beta = beta0 * mob;
+    let velo = |v: f64| 1.0 + p.u1 * v / leff;
+    let vdsat = (vov / a) / (1.0 + p.u1 * vov / (a * leff)).sqrt();
+    if vds < vdsat {
+        let id = tail + beta * (vov - 0.5 * a * vds) * vds / velo(vds);
+        (id, vth, vdsat, RawRegion::Triode)
+    } else {
+        let idsat = beta * (vov - 0.5 * a * vdsat) * vdsat / velo(vdsat);
+        // Channel-length modulation, 1/leff like the DIBL term: the
+        // 0.01/V reference value applies at leff = 2 µm.
+        let id = tail + idsat * (1.0 + 0.01 * lscale * (vds - vdsat));
+        (id, vth, vdsat, RawRegion::Saturation)
+    }
+}
+
+/// Signature of a raw I–V equation: `(params, w, l, vgs, vds, vbs) →
+/// (id, vth, vdsat, region)`.
+type IvFn = fn(&MosParams, f64, f64, f64, f64, f64) -> (f64, f64, f64, RawRegion);
+
+/// Central-difference derivative wrapper shared by the level-3 and BSIM
+/// cores.
+fn numeric_iv(p: &MosParams, w: f64, l: f64, vgs: f64, vds: f64, vbs: f64, f: IvFn) -> RawIv {
+    let (id, vth, vdsat, region) = f(p, w, l, vgs, vds, vbs);
+    const H: f64 = 1e-6;
+    let dg = (f(p, w, l, vgs + H, vds, vbs).0 - f(p, w, l, vgs - H, vds, vbs).0) / (2.0 * H);
+    // One-sided at the vds = 0 boundary to stay inside the normalized
+    // frame.
+    let dd = if vds >= H {
+        (f(p, w, l, vgs, vds + H, vbs).0 - f(p, w, l, vgs, vds - H, vbs).0) / (2.0 * H)
+    } else {
+        (f(p, w, l, vgs, vds + H, vbs).0 - f(p, w, l, vgs, vds, vbs).0) / H
+    };
+    let db = (f(p, w, l, vgs, vds, vbs + H).0 - f(p, w, l, vgs, vds, vbs - H).0) / (2.0 * H);
+    RawIv {
+        id,
+        gm: dg,
+        gds: dd,
+        gmbs: db,
+        vth,
+        vdsat,
+        region,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nmos_params() -> MosParams {
+        MosParams {
+            level: 1,
+            vto: 0.7,
+            kp: 1.0e-4,
+            gamma: 0.45,
+            phi: 0.65,
+            lambda: 0.04,
+            ..MosParams::default()
+        }
+    }
+
+    #[test]
+    fn level1_square_law_in_saturation() {
+        let p = nmos_params();
+        let iv = level1(&p, 10e-6, 1e-6, 1.7, 3.0, 0.0);
+        assert_eq!(iv.region, RawRegion::Saturation);
+        // id = 0.5·kp·(w/l)·vov²·(1+λvds) = 0.5·1e-4·10·1·1.12
+        assert!((iv.id - 0.5 * 1e-4 * 10.0 * 1.0 * 1.12).abs() < 1e-9);
+        assert!(iv.gm > 0.0 && iv.gds > 0.0 && iv.gmbs > 0.0);
+    }
+
+    #[test]
+    fn level1_cutoff() {
+        let p = nmos_params();
+        let iv = level1(&p, 10e-6, 1e-6, 0.3, 2.0, 0.0);
+        assert_eq!(iv.region, RawRegion::Cutoff);
+        assert_eq!(iv.id, 0.0);
+    }
+
+    #[test]
+    fn level1_continuous_at_vdsat() {
+        let p = nmos_params();
+        let vov = 0.8;
+        let below = level1(&p, 10e-6, 1e-6, 0.7 + vov, vov - 1e-9, 0.0);
+        let above = level1(&p, 10e-6, 1e-6, 0.7 + vov, vov + 1e-9, 0.0);
+        assert!((below.id - above.id).abs() < 1e-9 * above.id.max(1e-12));
+        assert!((below.gm - above.gm).abs() / above.gm < 1e-6);
+    }
+
+    #[test]
+    fn level1_body_effect_raises_threshold() {
+        let p = nmos_params();
+        let no_body = level1(&p, 10e-6, 1e-6, 1.5, 2.0, 0.0);
+        let with_body = level1(&p, 10e-6, 1e-6, 1.5, 2.0, -2.0);
+        assert!(with_body.vth > no_body.vth);
+        assert!(with_body.id < no_body.id);
+    }
+
+    fn check_derivatives(
+        core: fn(&MosParams, f64, f64, f64, f64, f64) -> RawIv,
+        p: &MosParams,
+        vgs: f64,
+        vds: f64,
+        vbs: f64,
+    ) {
+        let w = 20e-6;
+        let l = 2e-6;
+        let h = 1e-5;
+        let iv = core(p, w, l, vgs, vds, vbs);
+        let gm_fd =
+            (core(p, w, l, vgs + h, vds, vbs).id - core(p, w, l, vgs - h, vds, vbs).id) / (2.0 * h);
+        let gds_fd =
+            (core(p, w, l, vgs, vds + h, vbs).id - core(p, w, l, vgs, vds - h, vbs).id) / (2.0 * h);
+        let gmbs_fd =
+            (core(p, w, l, vgs, vds, vbs + h).id - core(p, w, l, vgs, vds, vbs - h).id) / (2.0 * h);
+        let scale = iv.gm.abs().max(1e-9);
+        assert!(
+            (iv.gm - gm_fd).abs() / scale < 2e-3,
+            "gm {} vs fd {}",
+            iv.gm,
+            gm_fd
+        );
+        assert!(
+            (iv.gds - gds_fd).abs() / iv.gds.abs().max(1e-9) < 2e-3,
+            "gds {} vs fd {}",
+            iv.gds,
+            gds_fd
+        );
+        assert!(
+            (iv.gmbs - gmbs_fd).abs() / iv.gmbs.abs().max(1e-9) < 2e-3,
+            "gmbs {} vs fd {}",
+            iv.gmbs,
+            gmbs_fd
+        );
+    }
+
+    #[test]
+    fn level1_derivatives_match_finite_differences() {
+        let p = nmos_params();
+        check_derivatives(level1, &p, 1.6, 2.5, -0.5); // saturation
+        check_derivatives(level1, &p, 2.5, 0.4, -0.5); // triode
+    }
+
+    #[test]
+    fn level3_derivatives_consistent() {
+        let p = MosParams {
+            level: 3,
+            theta: 0.1,
+            vmax: 1.5e5,
+            eta: 0.01,
+            u0: 0.06,
+            ..nmos_params()
+        };
+        check_derivatives(level3, &p, 1.6, 2.5, -0.5);
+        check_derivatives(level3, &p, 2.5, 0.4, 0.0);
+    }
+
+    #[test]
+    fn bsim_derivatives_consistent() {
+        let p = MosParams {
+            level: 4,
+            theta: 0.08,
+            u1: 1e-7,
+            eta: 0.02,
+            ..nmos_params()
+        };
+        check_derivatives(bsim1, &p, 1.6, 2.5, -0.5);
+        check_derivatives(bsim1, &p, 2.5, 0.4, 0.0);
+    }
+
+    #[test]
+    fn bsim_subthreshold_tail_is_positive_and_increasing() {
+        let p = MosParams {
+            level: 4,
+            ..nmos_params()
+        };
+        let lo = bsim1(&p, 10e-6, 2e-6, 0.4, 2.0, 0.0);
+        let hi = bsim1(&p, 10e-6, 2e-6, 0.5, 2.0, 0.0);
+        assert!(lo.id > 0.0);
+        assert!(hi.id > lo.id);
+        assert_eq!(lo.region, RawRegion::Cutoff);
+    }
+
+    #[test]
+    fn velocity_saturation_reduces_current() {
+        let base = MosParams {
+            level: 3,
+            u0: 0.06,
+            vmax: 0.0,
+            ..nmos_params()
+        };
+        let vsat = MosParams {
+            vmax: 1.0e5,
+            ..base.clone()
+        };
+        let i_nosat = level3(&base, 10e-6, 1e-6, 2.5, 3.0, 0.0);
+        let i_sat = level3(&vsat, 10e-6, 1e-6, 2.5, 3.0, 0.0);
+        assert!(i_sat.id < i_nosat.id);
+        assert!(i_sat.vdsat < i_nosat.vdsat);
+    }
+
+    #[test]
+    fn monotone_in_vgs_strong_inversion() {
+        for core in [
+            level1 as fn(&MosParams, f64, f64, f64, f64, f64) -> RawIv,
+            level3,
+            bsim1,
+        ] {
+            let p = MosParams {
+                theta: 0.05,
+                u0: 0.06,
+                ..nmos_params()
+            };
+            let mut last = -1.0;
+            for i in 0..20 {
+                let vgs = 1.0 + 0.1 * i as f64;
+                let iv = core(&p, 10e-6, 2e-6, vgs, 3.0, 0.0);
+                assert!(iv.id > last, "id must increase with vgs");
+                last = iv.id;
+            }
+        }
+    }
+
+    #[test]
+    fn params_from_card() {
+        use std::collections::HashMap;
+        let card = ModelCard {
+            name: "n".into(),
+            kind: "nmos".into(),
+            params: HashMap::from([
+                ("level".to_string(), 3.0),
+                ("vto".to_string(), 0.75),
+                ("tox".to_string(), 2.0e-8),
+            ]),
+        };
+        let p = MosParams::from_card(&card);
+        assert_eq!(p.level, 3);
+        assert_eq!(p.vto, 0.75);
+        assert_eq!(p.tox, 2.0e-8);
+        assert_eq!(p.kp, MosParams::default().kp);
+        assert!(p.cox() > 1e-3); // ~1.7 mF/m²
+    }
+}

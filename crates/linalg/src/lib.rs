@@ -1,0 +1,43 @@
+//! Dense real and complex linear algebra for the astrx-oblx analog
+//! synthesis toolkit.
+//!
+//! The circuits handled by ASTRX/OBLX are cell-level (tens of devices, at
+//! most a few hundred MNA unknowns), so a carefully written dense LU with
+//! partial pivoting is both simpler and faster than a sparse package at
+//! this scale. The crate provides:
+//!
+//! * [`Complex`] — a minimal `f64`-based complex number,
+//! * [`Mat`] — a dense row-major matrix generic over [`Scalar`]
+//!   (instantiated at `f64` and `Complex`),
+//! * [`Lu`] — LU factorization with partial pivoting, reusable for the
+//!   repeated back-substitutions at the heart of AWE moment generation,
+//! * [`Poly`] — polynomial arithmetic and Aberth–Ehrlich root finding,
+//!   used to turn Padé denominators into pole sets,
+//! * [`solve_hankel`] / [`solve_vandermonde`] — the two structured solves
+//!   of the AWE moment-matching step.
+//!
+//! # Examples
+//!
+//! ```
+//! use oblx_linalg::{Mat, Lu};
+//!
+//! # fn main() -> Result<(), oblx_linalg::SingularMatrixError> {
+//! let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+//! let lu = Lu::factor(a)?;
+//! let x = lu.solve(&[5.0, 10.0]);
+//! assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 3.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod complex;
+mod lu;
+mod matrix;
+mod poly;
+mod structured;
+
+pub use complex::Complex;
+pub use lu::{solve_once, Lu, SingularMatrixError};
+pub use matrix::{Mat, Scalar};
+pub use poly::{aberth_roots, Poly};
+pub use structured::{solve_hankel, solve_vandermonde};

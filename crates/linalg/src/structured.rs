@@ -1,0 +1,163 @@
+//! Structured solves used by AWE moment matching.
+//!
+//! Given transfer-function moments `µ0 … µ_{2q-1}`, the Padé step solves a
+//! Hankel system for denominator coefficients and a (pole-)Vandermonde
+//! system for residues. Orders are small, so we simply build the dense
+//! systems and reuse [`Lu`](crate::Lu).
+
+use crate::matrix::Scalar;
+use crate::{Lu, Mat, SingularMatrixError};
+
+/// Solves the AWE Hankel system for the denominator coefficients
+/// `b = (b0 … b_{q-1})` of the q-pole Padé approximant.
+///
+/// For `H(s) = N(s)/D(s)` with `D(s) = b0 + b1·s + … + b_{q-1}·s^{q-1} + s^q`
+/// and `deg N < q`, matching the Maclaurin moments `µ0 … µ_{2q-1}` gives,
+/// for `j = 0 … q−1`:
+///
+/// ```text
+/// | µ1   µ2   … µ_q      |   | b_{q-1} |     | µ0      |
+/// | µ2   µ3   … µ_{q+1}  | · | b_{q-2} | = − | µ1      |
+/// | …                    |   | …       |     | …       |
+/// | µ_q  …      µ_{2q-1} |   | b_0     |     | µ_{q-1} |
+/// ```
+///
+/// The returned vector is reordered to ascending `b0 … b_{q-1}`.
+///
+/// # Errors
+///
+/// Returns [`SingularMatrixError`] if the Hankel matrix is singular — the
+/// usual signal that the requested order q exceeds the information content
+/// of the moments, so AWE should fall back to a smaller q.
+///
+/// # Panics
+///
+/// Panics if `moments.len() < 2*q` or `q == 0`.
+pub fn solve_hankel<T: Scalar>(moments: &[T], q: usize) -> Result<Vec<T>, SingularMatrixError> {
+    assert!(q > 0, "Padé order must be positive");
+    assert!(moments.len() >= 2 * q, "need 2q moments for a q-pole model");
+    let mut h = Mat::<T>::zeros(q, q);
+    let mut rhs = vec![T::ZERO; q];
+    for r in 0..q {
+        for c in 0..q {
+            h[(r, c)] = moments[r + c + 1];
+        }
+        rhs[r] = -moments[r];
+    }
+    let mut b = Lu::factor(h)?.solve(&rhs);
+    b.reverse(); // solved order is b_{q-1} … b_0
+    Ok(b)
+}
+
+/// Solves the Vandermonde system for residues `k_i` of the pole-residue
+/// model `H(s) ≈ Σ k_i/(s − p_i)` from moment matching:
+///
+/// ```text
+/// µ_j = − Σ_i k_i / p_i^{j+1}     j = 0 … q−1
+/// ```
+///
+/// # Errors
+///
+/// Returns [`SingularMatrixError`] when poles are (numerically) repeated.
+///
+/// # Panics
+///
+/// Panics if `moments.len() < poles.len()` or any pole is exactly zero.
+pub fn solve_vandermonde<T: Scalar>(
+    poles: &[T],
+    moments: &[T],
+) -> Result<Vec<T>, SingularMatrixError> {
+    let q = poles.len();
+    assert!(moments.len() >= q, "need q moments for q residues");
+    let mut v = Mat::<T>::zeros(q, q);
+    let mut rhs = vec![T::ZERO; q];
+    for (c, &p) in poles.iter().enumerate() {
+        assert!(p.magnitude() > 0.0, "zero pole in residue solve");
+        let mut inv_pow = T::ONE / p; // 1/p^{1}
+        for r in 0..q {
+            v[(r, c)] = -inv_pow;
+            inv_pow = inv_pow / p;
+        }
+    }
+    rhs[..q].copy_from_slice(&moments[..q]);
+    Lu::factor(v).map(|lu| lu.solve(&rhs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Complex, Poly};
+
+    /// Construct moments from a known pole/residue model and verify the
+    /// Hankel + Vandermonde pipeline recovers it. This is the AWE inverse
+    /// problem in miniature.
+    #[test]
+    fn recovers_known_pole_residue_model() {
+        let poles = [-1.0f64, -5.0];
+        let resid = [2.0f64, -0.5];
+        let q = 2;
+        // µ_j = -Σ k_i / p_i^{j+1}
+        let moments: Vec<f64> = (0..2 * q)
+            .map(|j| {
+                -poles
+                    .iter()
+                    .zip(resid.iter())
+                    .map(|(&p, &k)| k / p.powi(j as i32 + 1))
+                    .sum::<f64>()
+            })
+            .collect();
+
+        let b = solve_hankel(&moments, q).unwrap();
+        // char poly: b0 + b1 s + s^2, roots must be the poles
+        let mut coeffs: Vec<f64> = b.clone();
+        coeffs.push(1.0);
+        let roots = Poly::from_real(&coeffs).roots();
+        let mut res: Vec<f64> = roots.iter().map(|r| r.re).collect();
+        res.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((res[0] - (-5.0)).abs() < 1e-8, "{res:?}");
+        assert!((res[1] - (-1.0)).abs() < 1e-8, "{res:?}");
+
+        let k = solve_vandermonde(&[-1.0, -5.0], &moments).unwrap();
+        assert!((k[0] - 2.0).abs() < 1e-8);
+        assert!((k[1] - (-0.5)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn hankel_rejects_rank_deficient_moments() {
+        // Moments of a single-pole model cannot support q = 2.
+        let p = -2.0f64;
+        let k = 3.0f64;
+        let moments: Vec<f64> = (0..4).map(|j| -k / p.powi(j + 1)).collect();
+        assert!(solve_hankel(&moments, 2).is_err());
+    }
+
+    #[test]
+    fn complex_field_works_too() {
+        let poles = [Complex::new(-1.0, 1.0), Complex::new(-1.0, -1.0)];
+        let resid = [Complex::new(0.0, -0.5), Complex::new(0.0, 0.5)];
+        let q = 2;
+        let moments: Vec<Complex> = (0..2 * q)
+            .map(|j| {
+                let mut acc = Complex::ZERO;
+                for (p, k) in poles.iter().zip(resid.iter()) {
+                    let mut ppow = *p;
+                    for _ in 0..j {
+                        ppow *= *p;
+                    }
+                    acc += *k / ppow;
+                }
+                -acc
+            })
+            .collect();
+        let b = solve_hankel(&moments, q).unwrap();
+        // char poly roots = poles; for poles -1±j: (s+1)^2+1 = s^2+2s+2
+        assert!((b[0] - Complex::from_real(2.0)).norm() < 1e-9);
+        assert!((b[1] - Complex::from_real(2.0)).norm() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 2q moments")]
+    fn too_few_moments_panics() {
+        let _ = solve_hankel(&[1.0, 2.0, 3.0], 2);
+    }
+}

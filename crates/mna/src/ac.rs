@@ -1,0 +1,229 @@
+//! Reference ac measurements: the "Simulation" columns of Tables 2/3.
+//!
+//! These routines measure performance by direct per-frequency complex
+//! solves on a [`LinearSystem`] — the slow-but-trusted path that AWE's
+//! reduced-order models are verified against.
+
+use crate::linear::{LinearSystem, OutputSelector};
+use oblx_linalg::SingularMatrixError;
+
+/// dc gain `|H(0)|` of the transfer function.
+///
+/// # Errors
+///
+/// Propagates [`SingularMatrixError`] from the underlying solve.
+pub fn dc_gain(
+    sys: &LinearSystem,
+    source: &str,
+    out: OutputSelector,
+) -> Result<f64, SingularMatrixError> {
+    Ok(sys.transfer(source, out, 0.0)?.norm())
+}
+
+/// Gain magnitude at frequency `f` (Hz).
+///
+/// # Errors
+///
+/// Propagates [`SingularMatrixError`].
+pub fn gain_at(
+    sys: &LinearSystem,
+    source: &str,
+    out: OutputSelector,
+    f: f64,
+) -> Result<f64, SingularMatrixError> {
+    Ok(sys
+        .transfer(source, out, 2.0 * std::f64::consts::PI * f)?
+        .norm())
+}
+
+/// Unity-gain frequency (Hz): the lowest frequency where `|H|` crosses 1,
+/// found by decade scan plus bisection. Returns 0 when the dc gain is
+/// already below 1, and `f_max` when no crossing is found below it.
+///
+/// # Errors
+///
+/// Propagates [`SingularMatrixError`].
+pub fn unity_gain_frequency(
+    sys: &LinearSystem,
+    source: &str,
+    out: OutputSelector,
+) -> Result<f64, SingularMatrixError> {
+    const F_MIN: f64 = 1.0e-1;
+    const F_MAX: f64 = 1.0e12;
+    let mag = |f: f64| -> Result<f64, SingularMatrixError> { gain_at(sys, source, out, f) };
+    if mag(F_MIN)? <= 1.0 {
+        return Ok(0.0);
+    }
+    // Decade scan for a bracketing interval.
+    let mut lo = F_MIN;
+    let mut hi = F_MIN;
+    let mut found = false;
+    while hi < F_MAX {
+        hi *= 10.0;
+        if mag(hi)? <= 1.0 {
+            found = true;
+            break;
+        }
+        lo = hi;
+    }
+    if !found {
+        return Ok(F_MAX);
+    }
+    // Bisection in log-frequency.
+    for _ in 0..60 {
+        let mid = (lo * hi).sqrt();
+        if mag(mid)? > 1.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok((lo * hi).sqrt())
+}
+
+/// Phase margin in degrees: `180° − (phase lag accumulated from dc to
+/// the unity-gain crossing)`, matching the AWE-side definition (lag is
+/// measured relative to the dc phase, so inverting probes report the
+/// same margin as non-inverted ones).
+///
+/// Returns 90° by convention for single-pole-like responses whose unity
+/// crossing was not found (`ugf == 0` or scan exhausted).
+///
+/// # Errors
+///
+/// Propagates [`SingularMatrixError`].
+pub fn phase_margin(
+    sys: &LinearSystem,
+    source: &str,
+    out: OutputSelector,
+) -> Result<f64, SingularMatrixError> {
+    let f = unity_gain_frequency(sys, source, out)?;
+    if f <= 0.0 || f >= 1.0e12 {
+        return Ok(90.0);
+    }
+    let h0 = sys.transfer(source, out, 0.0)?;
+    let h = sys.transfer(source, out, 2.0 * std::f64::consts::PI * f)?;
+    let mut d = (h.arg() - h0.arg()).to_degrees();
+    while d > 180.0 {
+        d -= 360.0;
+    }
+    while d < -180.0 {
+        d += 360.0;
+    }
+    Ok(180.0 - d.abs())
+}
+
+/// Samples `|H|` and phase over a log-spaced grid — a Bode sweep for
+/// reports and tests. Returns `(f, |H|, phase_deg)` triples.
+///
+/// # Errors
+///
+/// Propagates [`SingularMatrixError`].
+///
+/// # Panics
+///
+/// Panics if `points < 2` or the frequency bounds are not positive and
+/// increasing.
+pub fn bode(
+    sys: &LinearSystem,
+    source: &str,
+    out: OutputSelector,
+    f_start: f64,
+    f_stop: f64,
+    points: usize,
+) -> Result<Vec<(f64, f64, f64)>, SingularMatrixError> {
+    assert!(points >= 2, "need at least 2 sweep points");
+    assert!(f_start > 0.0 && f_stop > f_start, "bad frequency bounds");
+    let lstart = f_start.ln();
+    let lstep = (f_stop / f_start).ln() / (points - 1) as f64;
+    let mut out_rows = Vec::with_capacity(points);
+    for i in 0..points {
+        let f = (lstart + lstep * i as f64).exp();
+        let h = sys.transfer(source, out, 2.0 * std::f64::consts::PI * f)?;
+        out_rows.push((f, h.norm(), h.arg().to_degrees()));
+    }
+    Ok(out_rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble::SizedCircuit;
+    use crate::dc::solve_dc;
+    use oblx_devices::ModelLibrary;
+    use oblx_netlist::parse_problem;
+    use std::collections::HashMap;
+
+    fn sys(src: &str) -> LinearSystem {
+        let p = parse_problem(src).unwrap();
+        let flat = p.jigs[0].netlist.flatten(&p.subckts).unwrap();
+        let ckt = SizedCircuit::build(&flat, &HashMap::new(), &ModelLibrary::new()).unwrap();
+        let op = solve_dc(&ckt).unwrap();
+        LinearSystem::from_op(&ckt, &op)
+    }
+
+    /// A behavioural two-pole amplifier: gain 1000, poles at 1 kHz and
+    /// 1 MHz (gm/C stages) — easy to hand-verify.
+    fn two_pole() -> LinearSystem {
+        sys("\
+.jig j
+vin in 0 0 ac 1
+g1 0 x in 0 1m
+r1 x 0 1meg
+c1 x 0 159.155p
+g2 0 out x 0 1m
+r2 out 0 1k
+c2 out 0 159.155p
+.endjig
+")
+    }
+
+    #[test]
+    fn dc_gain_two_stage() {
+        let s = two_pole();
+        let out = s.output_selector("out", None).unwrap();
+        // A0 = (1m · 1M) · (1m · 1k) = 1000 · 1 = 1000.
+        let a0 = dc_gain(&s, "vin", out).unwrap();
+        assert!((a0 - 1000.0).abs() / 1000.0 < 1e-6, "a0 = {a0}");
+    }
+
+    #[test]
+    fn ugf_near_gbw() {
+        let s = two_pole();
+        let out = s.output_selector("out", None).unwrap();
+        let f = unity_gain_frequency(&s, "vin", out).unwrap();
+        // First pole 1 kHz, gain 1000 ⇒ GBW ≈ 1 MHz; second pole at
+        // 1 MHz pulls the crossing slightly below.
+        assert!(f > 5e5 && f < 1.1e6, "ugf = {f}");
+    }
+
+    #[test]
+    fn phase_margin_two_pole_is_about_52_degrees() {
+        let s = two_pole();
+        let out = s.output_selector("out", None).unwrap();
+        let pm = phase_margin(&s, "vin", out).unwrap();
+        // Crossing right at the second pole: PM ≈ 52° for this spacing.
+        assert!(pm > 40.0 && pm < 65.0, "pm = {pm}");
+    }
+
+    #[test]
+    fn passive_network_has_no_crossing() {
+        let s = sys(".jig j\nvin in 0 0 ac 1\nr1 in out 1k\nc1 out 0 1n\n.endjig\n");
+        let out = s.output_selector("out", None).unwrap();
+        assert_eq!(unity_gain_frequency(&s, "vin", out).unwrap(), 0.0);
+        assert_eq!(phase_margin(&s, "vin", out).unwrap(), 90.0);
+    }
+
+    #[test]
+    fn bode_sweep_monotone_rolloff() {
+        let s = sys(".jig j\nvin in 0 0 ac 1\nr1 in out 1k\nc1 out 0 1u\n.endjig\n");
+        let out = s.output_selector("out", None).unwrap();
+        let rows = bode(&s, "vin", out, 1.0, 1.0e6, 25).unwrap();
+        assert_eq!(rows.len(), 25);
+        for pair in rows.windows(2) {
+            assert!(pair[1].1 <= pair[0].1 + 1e-12, "low-pass must roll off");
+        }
+        // Phase heads toward −90°.
+        assert!(rows.last().unwrap().2 < -85.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Node-name to MNA-index mapping.
+
+use std::collections::HashMap;
+
+/// Maps node names to contiguous MNA indices; ground (`0`) maps to
+/// `None`.
+///
+/// # Examples
+///
+/// ```
+/// use oblx_mna::NodeMap;
+///
+/// let mut nm = NodeMap::new();
+/// let a = nm.intern("a");
+/// assert_eq!(a, Some(0));
+/// assert_eq!(nm.intern("0"), None);
+/// assert_eq!(nm.intern("a"), Some(0));
+/// assert_eq!(nm.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NodeMap {
+    names: Vec<String>,
+    map: HashMap<String, usize>,
+}
+
+impl NodeMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        NodeMap::default()
+    }
+
+    /// Interns a node name, returning its index (`None` for ground).
+    pub fn intern(&mut self, name: &str) -> Option<usize> {
+        if name == "0" || name == "gnd" {
+            return None;
+        }
+        if let Some(&i) = self.map.get(name) {
+            return Some(i);
+        }
+        let i = self.names.len();
+        self.names.push(name.to_string());
+        self.map.insert(name.to_string(), i);
+        Some(i)
+    }
+
+    /// Looks up an existing node without interning.
+    pub fn get(&self, name: &str) -> Option<usize> {
+        self.map.get(name).copied()
+    }
+
+    /// `true` when `name` denotes the ground node.
+    pub fn is_ground(name: &str) -> bool {
+        name == "0" || name == "gnd"
+    }
+
+    /// The name of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// Number of non-ground nodes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when only ground exists.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(index, name)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (i, n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_aliases() {
+        let mut nm = NodeMap::new();
+        assert_eq!(nm.intern("0"), None);
+        assert_eq!(nm.intern("gnd"), None);
+        assert!(NodeMap::is_ground("0"));
+        assert!(!NodeMap::is_ground("out"));
+    }
+
+    #[test]
+    fn stable_indices_and_names() {
+        let mut nm = NodeMap::new();
+        let a = nm.intern("a").unwrap();
+        let b = nm.intern("b").unwrap();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(nm.name(1), "b");
+        assert_eq!(nm.get("a"), Some(0));
+        assert_eq!(nm.get("zz"), None);
+        assert_eq!(nm.iter().count(), 2);
+    }
+}

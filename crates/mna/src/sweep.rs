@@ -1,0 +1,193 @@
+//! dc transfer sweeps — the large-signal measurement behind "output
+//! swing".
+//!
+//! The synthesis cost function estimates swing from saturation-margin
+//! expressions (paper §IV); this sweep provides the ground-truth
+//! measurement on the verification side: walk a source across a range,
+//! re-solving the operating point continuation-style, and read off the
+//! output excursion over which the stage still has gain.
+
+use crate::assemble::SizedCircuit;
+use crate::dc::{solve_dc_with, DcError, DcOptions};
+use crate::elements::LinElement;
+
+/// One point of a dc sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Swept source value (V or A).
+    pub input: f64,
+    /// All node voltages at this point.
+    pub v: Vec<f64>,
+}
+
+/// Sweeps the named voltage source from `from` to `to` in `points`
+/// steps, warm-starting each solve from the previous solution
+/// (continuation), and returns the solved points.
+///
+/// # Errors
+///
+/// [`DcError::Singular`] if `source` does not exist;
+/// [`DcError::NoConvergence`] if some point cannot be solved even with
+/// source stepping.
+///
+/// # Panics
+///
+/// Panics if `points < 2`.
+pub fn dc_sweep(
+    circuit: &SizedCircuit,
+    source: &str,
+    from: f64,
+    to: f64,
+    points: usize,
+) -> Result<Vec<SweepPoint>, DcError> {
+    assert!(points >= 2, "a sweep needs at least two points");
+    let idx = circuit
+        .linear_names
+        .iter()
+        .position(|n| n == source)
+        .ok_or(DcError::Singular)?;
+    if !matches!(circuit.linear[idx], LinElement::Vsource { .. }) {
+        return Err(DcError::Singular);
+    }
+
+    let opts = DcOptions {
+        abstol_i: 1e-8,
+        max_iters: 300,
+        ..DcOptions::default()
+    };
+    let mut out = Vec::with_capacity(points);
+    let mut warm: Option<Vec<f64>> = None;
+    for k in 0..points {
+        let value = from + (to - from) * k as f64 / (points - 1) as f64;
+        let mut ckt = circuit.clone();
+        if let LinElement::Vsource { dc, .. } = &mut ckt.linear[idx] {
+            *dc = value;
+        }
+        let op = solve_dc_with(&ckt, &opts, warm.as_deref())?;
+        let n = ckt.nodes.len();
+        let mut x = vec![0.0; ckt.dim()];
+        x[..n].copy_from_slice(&op.v);
+        x[n..].copy_from_slice(&op.i_branch);
+        warm = Some(x);
+        out.push(SweepPoint {
+            input: value,
+            v: op.v,
+        });
+    }
+    Ok(out)
+}
+
+/// Measures the output swing from a sweep: the excursion of `node`
+/// over the input range where the incremental gain `|dVout/dVin|`
+/// stays above `gain_floor` × (peak gain).
+pub fn swing_from_sweep(points: &[SweepPoint], node: usize, gain_floor: f64) -> f64 {
+    if points.len() < 3 {
+        return 0.0;
+    }
+    // Incremental gain per interval.
+    let mut gains = Vec::with_capacity(points.len() - 1);
+    for pair in points.windows(2) {
+        let dv_in = pair[1].input - pair[0].input;
+        let dv_out = pair[1].v[node] - pair[0].v[node];
+        gains.push(if dv_in.abs() > 0.0 {
+            (dv_out / dv_in).abs()
+        } else {
+            0.0
+        });
+    }
+    let peak = gains.iter().fold(0.0f64, |a, &b| a.max(b));
+    if peak == 0.0 {
+        return 0.0;
+    }
+    let threshold = gain_floor * peak;
+    // Output excursion across the contiguous high-gain region around
+    // the peak.
+    let peak_idx = gains.iter().position(|&g| g == peak).expect("peak exists");
+    let mut lo = peak_idx;
+    while lo > 0 && gains[lo - 1] >= threshold {
+        lo -= 1;
+    }
+    let mut hi = peak_idx;
+    while hi + 1 < gains.len() && gains[hi + 1] >= threshold {
+        hi += 1;
+    }
+    (points[hi + 1].v[node] - points[lo].v[node]).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblx_devices::process::ProcessDeck;
+    use oblx_devices::ModelLibrary;
+    use oblx_netlist::parse_problem;
+    use std::collections::HashMap;
+
+    fn circuit(src: &str, deck: Option<ProcessDeck>) -> SizedCircuit {
+        let p = parse_problem(src).unwrap();
+        let mut cards = p.models.clone();
+        if let Some(d) = deck {
+            cards.extend(d.cards());
+        }
+        let lib = ModelLibrary::from_cards(&cards).unwrap();
+        let flat = p.jigs[0].netlist.flatten(&p.subckts).unwrap();
+        SizedCircuit::build(&flat, &HashMap::new(), &lib).unwrap()
+    }
+
+    #[test]
+    fn linear_divider_sweeps_linearly() {
+        let ckt = circuit(
+            ".jig j\nvin in 0 0\nr1 in out 1k\nr2 out 0 1k\n.endjig\n",
+            None,
+        );
+        let pts = dc_sweep(&ckt, "vin", 0.0, 4.0, 9).unwrap();
+        assert_eq!(pts.len(), 9);
+        let out = ckt.nodes.get("out").unwrap();
+        for p in &pts {
+            assert!((p.v[out] - p.input / 2.0).abs() < 1e-9);
+        }
+        // A resistive divider has "infinite" swing at constant gain.
+        let swing = swing_from_sweep(&pts, out, 0.5);
+        assert!((swing - 2.0).abs() < 1e-9); // full output excursion
+    }
+
+    #[test]
+    fn inverter_stage_swing_is_bounded_by_rails() {
+        // Common-source stage: output swings inside (vdsat, vdd) only
+        // while the device has gain.
+        let src = "\
+.jig j
+vdd vdd 0 5
+vin g 0 1.2
+rd vdd out 20k
+m1 out g 0 0 nmos w=50u l=2u
+.endjig
+";
+        let ckt = circuit(src, Some(ProcessDeck::C2Level1));
+        let pts = dc_sweep(&ckt, "vin", 0.6, 2.4, 37).unwrap();
+        let out = ckt.nodes.get("out").unwrap();
+        let swing = swing_from_sweep(&pts, out, 0.25);
+        assert!(
+            swing > 2.0 && swing < 5.0,
+            "inverter swing = {swing} (must be substantial but < rail-to-rail)"
+        );
+        // Output is monotone decreasing in vin.
+        for pair in pts.windows(2) {
+            assert!(pair[1].v[out] <= pair[0].v[out] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn unknown_source_rejected() {
+        let ckt = circuit(".jig j\nvin in 0 0\nr1 in 0 1k\n.endjig\n", None);
+        assert!(dc_sweep(&ckt, "nosuch", 0.0, 1.0, 3).is_err());
+        // Sweeping a non-V element is also rejected.
+        let ckt2 = circuit(".jig j\ni1 0 a 1m\nr1 a 0 1k\n.endjig\n", None);
+        assert!(dc_sweep(&ckt2, "i1", 0.0, 1.0, 3).is_err());
+    }
+
+    #[test]
+    fn degenerate_sweeps() {
+        let pts: Vec<SweepPoint> = vec![];
+        assert_eq!(swing_from_sweep(&pts, 0, 0.5), 0.0);
+    }
+}

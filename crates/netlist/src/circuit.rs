@@ -1,0 +1,393 @@
+//! Structural netlist model: elements, subcircuits, and hierarchical
+//! flattening.
+
+use crate::{Expr, ParseError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The ground node name after canonicalization.
+pub const GROUND: &str = "0";
+
+/// The kind (and kind-specific data) of a primitive element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ElementKind {
+    /// Resistor: value in ohms.
+    Resistor { value: Expr },
+    /// Capacitor: value in farads.
+    Capacitor { value: Expr },
+    /// Inductor: value in henries.
+    Inductor { value: Expr },
+    /// Independent voltage source with dc value and ac magnitude.
+    Vsource { dc: Expr, ac: f64 },
+    /// Independent current source (flows from node 1 through the source
+    /// to node 2, SPICE convention) with dc value and ac magnitude.
+    Isource { dc: Expr, ac: f64 },
+    /// Voltage-controlled voltage source: `gain · v(cp, cm)`.
+    Vcvs { cp: String, cm: String, gain: Expr },
+    /// Voltage-controlled current source: `gm · v(cp, cm)`.
+    Vccs { cp: String, cm: String, gm: Expr },
+    /// MOS transistor: nodes are `[d, g, s, b]`.
+    Mosfet { model: String, w: Expr, l: Expr },
+    /// Bipolar transistor: nodes are `[c, b, e]`.
+    Bjt { model: String, area: Expr },
+    /// Junction diode: nodes are `[anode, cathode]`.
+    Diode { model: String, area: Expr },
+}
+
+impl ElementKind {
+    /// A short human-readable label for error messages.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ElementKind::Resistor { .. } => "resistor",
+            ElementKind::Capacitor { .. } => "capacitor",
+            ElementKind::Inductor { .. } => "inductor",
+            ElementKind::Vsource { .. } => "vsource",
+            ElementKind::Isource { .. } => "isource",
+            ElementKind::Vcvs { .. } => "vcvs",
+            ElementKind::Vccs { .. } => "vccs",
+            ElementKind::Mosfet { .. } => "mosfet",
+            ElementKind::Bjt { .. } => "bjt",
+            ElementKind::Diode { .. } => "diode",
+        }
+    }
+}
+
+/// A primitive circuit element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Element {
+    /// Instance name (lowercase), e.g. `m1`.
+    pub name: String,
+    /// Connection nodes in card order.
+    pub nodes: Vec<String>,
+    /// Kind-specific data.
+    pub kind: ElementKind,
+}
+
+/// A subcircuit instantiation (`x` card).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Instance name, e.g. `xamp`.
+    pub name: String,
+    /// Actual nodes bound to the subcircuit ports.
+    pub nodes: Vec<String>,
+    /// Name of the subcircuit definition.
+    pub subckt: String,
+}
+
+/// A subcircuit definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subckt {
+    /// Definition name (lowercase).
+    pub name: String,
+    /// Formal port node names.
+    pub ports: Vec<String>,
+    /// Body netlist (may itself contain instances).
+    pub body: Netlist,
+}
+
+/// A flat or hierarchical netlist: primitive elements plus subcircuit
+/// instances.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Netlist {
+    /// Primitive elements in declaration order.
+    pub elements: Vec<Element>,
+    /// Subcircuit instances in declaration order.
+    pub instances: Vec<Instance>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    /// Returns true when there are no elements and no instances.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty() && self.instances.is_empty()
+    }
+
+    /// All distinct node names referenced by primitive elements
+    /// (flattened netlists only — instances are ignored), ground
+    /// included, in first-seen order.
+    pub fn node_names(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for e in &self.elements {
+            for n in &e.nodes {
+                if !seen.contains(n) {
+                    seen.push(n.clone());
+                }
+            }
+            // Controlling nodes of controlled sources count too.
+            match &e.kind {
+                ElementKind::Vcvs { cp, cm, .. } | ElementKind::Vccs { cp, cm, .. } => {
+                    for n in [cp, cm] {
+                        if !seen.contains(n) {
+                            seen.push(n.clone());
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        seen
+    }
+
+    /// Flattens this netlist against a library of subcircuit
+    /// definitions. Instance-internal nodes and element names are
+    /// prefixed with `instance.`; port nodes are substituted with the
+    /// actual nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] for unknown subcircuits or port-count
+    /// mismatches.
+    pub fn flatten(&self, lib: &HashMap<String, Subckt>) -> Result<Netlist, ParseError> {
+        let mut out = Netlist::new();
+        self.flatten_into(lib, "", &HashMap::new(), &mut out, 0)?;
+        Ok(out)
+    }
+
+    fn flatten_into(
+        &self,
+        lib: &HashMap<String, Subckt>,
+        prefix: &str,
+        port_map: &HashMap<String, String>,
+        out: &mut Netlist,
+        depth: usize,
+    ) -> Result<(), ParseError> {
+        if depth > 32 {
+            return Err(ParseError::new(0, "subcircuit nesting too deep (cycle?)"));
+        }
+        let map_node = |n: &str| -> String {
+            if n == GROUND {
+                return GROUND.to_string();
+            }
+            if let Some(actual) = port_map.get(n) {
+                return actual.clone();
+            }
+            if prefix.is_empty() {
+                n.to_string()
+            } else {
+                format!("{prefix}{n}")
+            }
+        };
+        for e in &self.elements {
+            let mut e2 = e.clone();
+            e2.name = format!("{prefix}{}", e.name);
+            e2.nodes = e.nodes.iter().map(|n| map_node(n)).collect();
+            match &mut e2.kind {
+                ElementKind::Vcvs { cp, cm, .. } | ElementKind::Vccs { cp, cm, .. } => {
+                    *cp = map_node(cp);
+                    *cm = map_node(cm);
+                }
+                _ => {}
+            }
+            out.elements.push(e2);
+        }
+        for inst in &self.instances {
+            let def = lib.get(&inst.subckt).ok_or_else(|| {
+                ParseError::new(0, format!("unknown subcircuit `{}`", inst.subckt))
+            })?;
+            if def.ports.len() != inst.nodes.len() {
+                return Err(ParseError::new(
+                    0,
+                    format!(
+                        "instance `{}` connects {} nodes but `{}` has {} ports",
+                        inst.name,
+                        inst.nodes.len(),
+                        def.name,
+                        def.ports.len()
+                    ),
+                ));
+            }
+            let mut inner_map = HashMap::new();
+            for (formal, actual) in def.ports.iter().zip(inst.nodes.iter()) {
+                inner_map.insert(formal.clone(), map_node(actual));
+            }
+            let inner_prefix = format!("{prefix}{}.", inst.name);
+            def.body
+                .flatten_into(lib, &inner_prefix, &inner_map, out, depth + 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.elements {
+            writeln!(f, "{} {} [{}]", e.name, e.nodes.join(" "), e.kind.label())?;
+        }
+        for i in &self.instances {
+            writeln!(f, "{} {} {}", i.name, i.nodes.join(" "), i.subckt)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(name: &str, a: &str, b: &str) -> Element {
+        Element {
+            name: name.into(),
+            nodes: vec![a.into(), b.into()],
+            kind: ElementKind::Resistor {
+                value: Expr::num(1.0),
+            },
+        }
+    }
+
+    #[test]
+    fn node_names_in_order_with_controls() {
+        let mut n = Netlist::new();
+        n.elements.push(r("r1", "a", "b"));
+        n.elements.push(Element {
+            name: "g1".into(),
+            nodes: vec!["b".into(), "0".into()],
+            kind: ElementKind::Vccs {
+                cp: "c".into(),
+                cm: "0".into(),
+                gm: Expr::num(1.0),
+            },
+        });
+        assert_eq!(n.node_names(), vec!["a", "b", "0", "c"]);
+    }
+
+    #[test]
+    fn flatten_renames_internals_and_binds_ports() {
+        let mut body = Netlist::new();
+        body.elements.push(r("r1", "in", "mid"));
+        body.elements.push(r("r2", "mid", "out"));
+        let sub = Subckt {
+            name: "divider".into(),
+            ports: vec!["in".into(), "out".into()],
+            body,
+        };
+        let mut lib = HashMap::new();
+        lib.insert("divider".to_string(), sub);
+
+        let mut top = Netlist::new();
+        top.instances.push(Instance {
+            name: "x1".into(),
+            nodes: vec!["a".into(), "0".into()],
+            subckt: "divider".into(),
+        });
+        let flat = top.flatten(&lib).unwrap();
+        assert_eq!(flat.elements.len(), 2);
+        assert_eq!(flat.elements[0].name, "x1.r1");
+        assert_eq!(flat.elements[0].nodes, vec!["a", "x1.mid"]);
+        assert_eq!(flat.elements[1].nodes, vec!["x1.mid", "0"]);
+    }
+
+    #[test]
+    fn flatten_two_levels() {
+        let mut inner = Netlist::new();
+        inner.elements.push(r("r", "p", "q"));
+        let sub_inner = Subckt {
+            name: "unit".into(),
+            ports: vec!["p".into(), "q".into()],
+            body: inner,
+        };
+        let mut mid = Netlist::new();
+        mid.instances.push(Instance {
+            name: "xu".into(),
+            nodes: vec!["t".into(), "internal".into()],
+            subckt: "unit".into(),
+        });
+        let sub_mid = Subckt {
+            name: "wrap".into(),
+            ports: vec!["t".into()],
+            body: mid,
+        };
+        let mut lib = HashMap::new();
+        lib.insert("unit".to_string(), sub_inner);
+        lib.insert("wrap".to_string(), sub_mid);
+
+        let mut top = Netlist::new();
+        top.instances.push(Instance {
+            name: "xw".into(),
+            nodes: vec!["n1".into()],
+            subckt: "wrap".into(),
+        });
+        let flat = top.flatten(&lib).unwrap();
+        assert_eq!(flat.elements[0].name, "xw.xu.r");
+        assert_eq!(flat.elements[0].nodes, vec!["n1", "xw.internal"]);
+    }
+
+    #[test]
+    fn ground_never_renamed() {
+        let mut body = Netlist::new();
+        body.elements.push(r("r1", "a", "0"));
+        let sub = Subckt {
+            name: "s".into(),
+            ports: vec!["a".into()],
+            body,
+        };
+        let mut lib = HashMap::new();
+        lib.insert("s".to_string(), sub);
+        let mut top = Netlist::new();
+        top.instances.push(Instance {
+            name: "x1".into(),
+            nodes: vec!["n".into()],
+            subckt: "s".into(),
+        });
+        let flat = top.flatten(&lib).unwrap();
+        assert_eq!(flat.elements[0].nodes, vec!["n", "0"]);
+    }
+
+    #[test]
+    fn flatten_of_flat_netlist_is_identity() {
+        use proptest::prelude::*;
+        let mut runner = proptest::test_runner::TestRunner::default();
+        let node = proptest::sample::select(vec!["a", "b", "c", "0", "n1", "n2"]);
+        let strat = proptest::collection::vec((node.clone(), node), 1..12);
+        runner
+            .run(&strat, |pairs| {
+                let mut n = Netlist::new();
+                for (i, (p, m)) in pairs.iter().enumerate() {
+                    n.elements.push(r(&format!("r{i}"), p, m));
+                }
+                // A flat netlist (no instances) flattens to itself.
+                let flat = n.flatten(&HashMap::new()).expect("flat");
+                prop_assert_eq!(&flat, &n);
+                // And flattening is idempotent.
+                let again = flat.flatten(&HashMap::new()).expect("flat");
+                prop_assert_eq!(&again, &flat);
+                // Display never panics and names every element.
+                let text = format!("{flat}");
+                prop_assert_eq!(text.lines().count(), pairs.len());
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn unknown_subckt_errors() {
+        let mut top = Netlist::new();
+        top.instances.push(Instance {
+            name: "x1".into(),
+            nodes: vec!["n".into()],
+            subckt: "missing".into(),
+        });
+        assert!(top.flatten(&HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn port_count_mismatch_errors() {
+        let sub = Subckt {
+            name: "s".into(),
+            ports: vec!["a".into(), "b".into()],
+            body: Netlist::new(),
+        };
+        let mut lib = HashMap::new();
+        lib.insert("s".to_string(), sub);
+        let mut top = Netlist::new();
+        top.instances.push(Instance {
+            name: "x1".into(),
+            nodes: vec!["n".into()],
+            subckt: "s".into(),
+        });
+        assert!(top.flatten(&lib).is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! Parse-error type for the description language.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while parsing a synthesis-problem description.
+///
+/// Carries the 1-based source line for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the input (0 when not line-specific).
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates a parse error attached to `line`.
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl Error for ParseError {}

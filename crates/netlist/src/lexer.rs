@@ -1,0 +1,311 @@
+//! Line-level lexing: comments, continuations, field splitting, and
+//! SPICE-style scaled number literals.
+
+use crate::ParseError;
+
+/// Iterator over *logical* lines of a SPICE-flavoured source: `*` and `;`
+/// comments are stripped, blank lines skipped, and `+` continuation lines
+/// joined onto their predecessor. Yields `(line_number, text)` where
+/// `line_number` is the 1-based number of the first physical line.
+///
+/// # Examples
+///
+/// ```
+/// use oblx_netlist::LogicalLines;
+///
+/// let src = "* comment\nr1 a b 1k ; load\n+ extra\n\nc1 a 0 1p";
+/// let lines: Vec<_> = LogicalLines::new(src).collect();
+/// assert_eq!(lines[0], (2, "r1 a b 1k extra".to_string()));
+/// assert_eq!(lines[1], (5, "c1 a 0 1p".to_string()));
+/// ```
+#[derive(Debug)]
+pub struct LogicalLines<'a> {
+    lines: std::iter::Peekable<std::iter::Enumerate<std::str::Lines<'a>>>,
+}
+
+impl<'a> LogicalLines<'a> {
+    /// Creates the iterator over `src`.
+    pub fn new(src: &'a str) -> Self {
+        LogicalLines {
+            lines: src.lines().enumerate().peekable(),
+        }
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `;` starts an inline comment; a leading `*` comments the whole line.
+    let trimmed = line.trim_start();
+    if trimmed.starts_with('*') {
+        return "";
+    }
+    match line.find(';') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+impl<'a> Iterator for LogicalLines<'a> {
+    type Item = (usize, String);
+
+    fn next(&mut self) -> Option<(usize, String)> {
+        loop {
+            let (idx, raw) = self.lines.next()?;
+            let body = strip_comment(raw).trim();
+            if body.is_empty() {
+                continue;
+            }
+            let mut text = body.to_string();
+            // Absorb continuation lines.
+            while let Some(&(_, peeked)) = self.lines.peek() {
+                let next_body = strip_comment(peeked).trim_start();
+                if let Some(rest) = next_body.strip_prefix('+') {
+                    text.push(' ');
+                    text.push_str(rest.trim());
+                    self.lines.next();
+                } else if next_body.is_empty() && peeked.trim_start().starts_with('*') {
+                    // A comment between a line and its continuation is
+                    // allowed; skip it without ending the logical line.
+                    self.lines.next();
+                } else {
+                    break;
+                }
+            }
+            return Some((idx + 1, text));
+        }
+    }
+}
+
+/// Splits a logical line into whitespace-separated fields, keeping
+/// single-quoted expressions (`'I/(2*Cl)'`) as one field with the quotes
+/// removed, and keeping `key=value` pairs intact.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on an unterminated quote.
+///
+/// # Examples
+///
+/// ```
+/// use oblx_netlist::split_fields;
+///
+/// let f = split_fields(3, ".spec sr 'I/(2*(Cl+cd))' good=1Meg bad=10k").unwrap();
+/// assert_eq!(f, vec![".spec", "sr", "I/(2*(Cl+cd))", "good=1Meg", "bad=10k"]);
+/// ```
+pub fn split_fields(line_no: usize, line: &str) -> Result<Vec<String>, ParseError> {
+    let mut fields = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '\'' {
+            chars.next();
+            let mut buf = String::new();
+            let mut closed = false;
+            for ch in chars.by_ref() {
+                if ch == '\'' {
+                    closed = true;
+                    break;
+                }
+                buf.push(ch);
+            }
+            if !closed {
+                return Err(ParseError::new(line_no, "unterminated quoted expression"));
+            }
+            fields.push(buf);
+        } else {
+            let mut buf = String::new();
+            while let Some(&ch) = chars.peek() {
+                if ch.is_whitespace() {
+                    break;
+                }
+                if ch == '\'' {
+                    // key='expr' — splice the quoted body into the field.
+                    chars.next();
+                    let mut closed = false;
+                    for ch2 in chars.by_ref() {
+                        if ch2 == '\'' {
+                            closed = true;
+                            break;
+                        }
+                        buf.push(ch2);
+                    }
+                    if !closed {
+                        return Err(ParseError::new(line_no, "unterminated quoted expression"));
+                    }
+                    continue;
+                }
+                buf.push(ch);
+                chars.next();
+            }
+            fields.push(buf);
+        }
+    }
+    Ok(fields)
+}
+
+/// Parses a SPICE scaled number: `1k`, `2.5Meg`, `0.8u`, `10n`, `1e-6`,
+/// `3pF` (trailing unit letters after the scale factor are ignored, as in
+/// SPICE).
+///
+/// Scale suffixes (case-insensitive): `t`=1e12, `g`=1e9, `meg`=1e6,
+/// `k`=1e3, `m`=1e-3, `u`=1e-6, `n`=1e-9, `p`=1e-12, `f`=1e-15.
+///
+/// Returns `None` when the token is not a number.
+///
+/// # Examples
+///
+/// ```
+/// use oblx_netlist::parse_number;
+///
+/// assert_eq!(parse_number("1Meg"), Some(1.0e6));
+/// assert_eq!(parse_number("2.2k"), Some(2200.0));
+/// assert!((parse_number("100nF").unwrap() - 1.0e-7).abs() < 1e-20);
+/// assert_eq!(parse_number("abc"), None);
+/// ```
+pub fn parse_number(token: &str) -> Option<f64> {
+    let bytes = token.as_bytes();
+    if bytes.is_empty() {
+        return None;
+    }
+    // Longest numeric prefix: [+-]? digits [. digits] [e[+-]digits]
+    let mut end = 0;
+    let mut seen_digit = false;
+    if bytes[end] == b'+' || bytes[end] == b'-' {
+        end += 1;
+    }
+    while end < bytes.len() && bytes[end].is_ascii_digit() {
+        end += 1;
+        seen_digit = true;
+    }
+    if end < bytes.len() && bytes[end] == b'.' {
+        end += 1;
+        while end < bytes.len() && bytes[end].is_ascii_digit() {
+            end += 1;
+            seen_digit = true;
+        }
+    }
+    if !seen_digit {
+        return None;
+    }
+    if end < bytes.len() && (bytes[end] == b'e' || bytes[end] == b'E') {
+        // Only treat as exponent if followed by a valid exponent body.
+        let mut e = end + 1;
+        if e < bytes.len() && (bytes[e] == b'+' || bytes[e] == b'-') {
+            e += 1;
+        }
+        if e < bytes.len() && bytes[e].is_ascii_digit() {
+            while e < bytes.len() && bytes[e].is_ascii_digit() {
+                e += 1;
+            }
+            end = e;
+        }
+    }
+    let mantissa: f64 = token[..end].parse().ok()?;
+    let suffix = token[end..].to_ascii_lowercase();
+    let scale = if suffix.is_empty() {
+        1.0
+    } else if suffix.starts_with("meg") {
+        1e6
+    } else if suffix.starts_with("mil") {
+        25.4e-6
+    } else {
+        match suffix.as_bytes()[0] {
+            b't' => 1e12,
+            b'g' => 1e9,
+            b'k' => 1e3,
+            b'm' => 1e-3,
+            b'u' => 1e-6,
+            b'n' => 1e-9,
+            b'p' => 1e-12,
+            b'f' => 1e-15,
+            // Unknown letters directly after a number (e.g. `2x`) are a
+            // unit annotation in SPICE tradition; accept as scale 1 only
+            // for known unit letters, otherwise reject.
+            b'v' | b'a' | b'h' | b's' => 1.0,
+            _ => return None,
+        }
+    };
+    Some(mantissa * scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_lines_strip_and_join() {
+        let src = "* header\nr1 a b 1k\n+2k ; tail comment\n* mid comment\n+3k\nc1 a 0 1p\n";
+        let got: Vec<_> = LogicalLines::new(src).collect();
+        assert_eq!(got[0], (2, "r1 a b 1k 2k 3k".to_string()));
+        assert_eq!(got[1], (6, "c1 a 0 1p".to_string()));
+    }
+
+    #[test]
+    fn fields_with_quotes() {
+        let f = split_fields(1, ".obj adm 'dc_gain(tf)' good=1000 bad=10").unwrap();
+        assert_eq!(f[2], "dc_gain(tf)");
+        assert_eq!(f[3], "good=1000");
+    }
+
+    #[test]
+    fn fields_with_embedded_quote_value() {
+        let f = split_fields(1, "m1 d g s b nmos w='W' l='L*2'").unwrap();
+        assert_eq!(f[6], "w=W");
+        assert_eq!(f[7], "l=L*2");
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(split_fields(4, ".obj x 'oops").is_err());
+        assert!(split_fields(4, "m1 a b w='oops").is_err());
+    }
+
+    fn assert_close(tok: &str, expect: f64) {
+        let got = parse_number(tok).unwrap_or_else(|| panic!("`{tok}` did not parse"));
+        assert!(
+            (got - expect).abs() <= 1e-12 * expect.abs().max(1e-300),
+            "`{tok}` -> {got}, expected {expect}"
+        );
+    }
+
+    #[test]
+    fn numbers_with_suffixes() {
+        assert_close("10", 10.0);
+        assert_close("-3.3", -3.3);
+        assert_close("1k", 1e3);
+        assert_close("1K", 1e3);
+        assert_close("1Meg", 1e6);
+        assert_close("1MEG", 1e6);
+        assert_close("1m", 1e-3);
+        assert_close("0.8u", 0.8e-6);
+        assert_close("5n", 5e-9);
+        assert_close("2p", 2e-12);
+        assert_close("3f", 3e-15);
+        assert_close("4g", 4e9);
+        assert_close("1e-6", 1e-6);
+        assert_close("1.5e3", 1500.0);
+    }
+
+    #[test]
+    fn numbers_with_units() {
+        assert_eq!(parse_number("1pF"), Some(1e-12));
+        assert_eq!(parse_number("5kOhm"), Some(5e3));
+        assert_eq!(parse_number("2V"), Some(2.0));
+    }
+
+    #[test]
+    fn non_numbers_rejected() {
+        assert_eq!(parse_number("vdd"), None);
+        assert_eq!(parse_number(""), None);
+        assert_eq!(parse_number("+"), None);
+        assert_eq!(parse_number(".spec"), None);
+        assert_eq!(parse_number("1x"), None);
+    }
+
+    #[test]
+    fn exponent_vs_unit_e() {
+        // `1e` is "1" with unknown suffix 'e' — rejected; `1e2` is 100.
+        assert_eq!(parse_number("1e2"), Some(100.0));
+        assert_eq!(parse_number("1e"), None);
+    }
+}

@@ -1,0 +1,66 @@
+//! The ASTRX synthesis-problem description language.
+//!
+//! ASTRX/OBLX deliberately borrows SPICE's familiar notation so that the
+//! "preparatory effort" for a new circuit is an afternoon, not months of
+//! equation derivation. An input file contains:
+//!
+//! * a `.subckt` defining the **circuit under design** (device geometries
+//!   may reference design variables),
+//! * one or more **test jigs** (`.jig` … `.endjig`) — stimulus, load and
+//!   supply environments in which performance is measured, each with
+//!   `.pz` cards naming the transfer functions AWE must extract,
+//! * a **bias circuit** (`.bias` … `.endbias`) supplying the large-signal
+//!   dc environment,
+//! * `.var` cards declaring the independent design variables and their
+//!   ranges,
+//! * `.obj` / `.spec` cards declaring objectives and constraints as
+//!   expressions over measurement functions (`dc_gain(tf)`, `ugf(tf)`,
+//!   …), design variables, and device operating-point paths
+//!   (`xamp.m1.cd`),
+//! * `.model` cards carrying device-model parameter sets.
+//!
+//! The crate provides the lexer, the expression language, the element and
+//! card grammar, hierarchical flattening, and the
+//! [`problem::Problem`] container handed to the ASTRX compiler.
+//!
+//! # Examples
+//!
+//! ```
+//! use oblx_netlist::parse_problem;
+//!
+//! # fn main() -> Result<(), oblx_netlist::ParseError> {
+//! let src = "\
+//! * trivial RC jig
+//! .subckt cell a b
+//! r1 a b 1k
+//! .ends
+//! .jig main
+//! xcell in out cell
+//! vin in 0 dc 0 ac 1
+//! cl out 0 1p
+//! .pz tf v(out) vin
+//! .endjig
+//! .spec bw 'ugf(tf)' good=1Meg bad=10k
+//! ";
+//! let problem = parse_problem(src)?;
+//! assert_eq!(problem.jigs.len(), 1);
+//! assert_eq!(problem.specs.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+mod circuit;
+mod error;
+mod expr;
+mod lexer;
+mod parser;
+pub mod problem;
+
+pub use circuit::{Element, ElementKind, Instance, Netlist, Subckt};
+pub use error::ParseError;
+pub use expr::{builtin_call, BinOp, EvalContext, EvalError, Expr, MapContext};
+pub use lexer::{parse_number, split_fields, LogicalLines};
+pub use parser::{parse_expr, parse_problem};
+pub use problem::{
+    Analysis, Goal, Jig, LineStats, ModelCard, Problem, RegionReq, SpecKind, VarDecl, VarScale,
+};

@@ -1,0 +1,814 @@
+//! Card-level parser assembling a [`Problem`] from source text.
+
+use crate::circuit::{Element, ElementKind, Instance, Netlist, Subckt};
+use crate::expr::ExprParser;
+use crate::lexer::{parse_number, split_fields, LogicalLines};
+use crate::problem::{
+    Analysis, Goal, Jig, ModelCard, Problem, RegionReq, SpecKind, VarDecl, VarScale,
+};
+use crate::{Expr, ParseError};
+use std::collections::HashMap;
+
+/// Parses a single expression (used for quoted values and tests).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input; `line` is attached to the
+/// error for diagnostics.
+pub fn parse_expr(line: usize, src: &str) -> Result<Expr, ParseError> {
+    ExprParser::new(line, src).parse()
+}
+
+/// Parses a value field that may be a bare SPICE number, a quoted
+/// expression (quotes already stripped by the lexer), or a plain
+/// variable/expression token.
+fn parse_value(line: usize, tok: &str) -> Result<Expr, ParseError> {
+    if let Some(v) = parse_number(tok) {
+        return Ok(Expr::Num(v));
+    }
+    parse_expr(line, tok)
+}
+
+/// Section the parser is currently inside.
+enum Section {
+    Top,
+    Subckt(Subckt),
+    Jig(Jig),
+    Bias(Netlist),
+}
+
+/// Parses a complete synthesis-problem description.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered, annotated with its
+/// source line.
+///
+/// # Examples
+///
+/// See the [crate-level documentation](crate).
+pub fn parse_problem(src: &str) -> Result<Problem, ParseError> {
+    let mut problem = Problem::default();
+    let mut section = Section::Top;
+
+    for (line_no, text) in LogicalLines::new(src) {
+        let fields = split_fields(line_no, &text)?;
+        if fields.is_empty() {
+            continue;
+        }
+        let head = fields[0].to_lowercase();
+
+        // Section-terminating and section-opening cards first.
+        match head.as_str() {
+            ".subckt" => {
+                if !matches!(section, Section::Top) {
+                    return Err(ParseError::new(line_no, ".subckt must be at top level"));
+                }
+                if fields.len() < 2 {
+                    return Err(ParseError::new(line_no, ".subckt needs a name"));
+                }
+                problem.line_stats.netlist_lines += 1;
+                let name = fields[1].to_lowercase();
+                let ports = fields[2..].iter().map(|s| s.to_lowercase()).collect();
+                section = Section::Subckt(Subckt {
+                    name,
+                    ports,
+                    body: Netlist::new(),
+                });
+                continue;
+            }
+            ".ends" => {
+                problem.line_stats.netlist_lines += 1;
+                match std::mem::replace(&mut section, Section::Top) {
+                    Section::Subckt(sub) => {
+                        if problem.design.is_none() {
+                            problem.design = Some(sub.name.clone());
+                        }
+                        problem.subckts.insert(sub.name.clone(), sub);
+                    }
+                    _ => return Err(ParseError::new(line_no, ".ends without .subckt")),
+                }
+                continue;
+            }
+            ".jig" => {
+                if !matches!(section, Section::Top) {
+                    return Err(ParseError::new(line_no, ".jig must be at top level"));
+                }
+                if fields.len() != 2 {
+                    return Err(ParseError::new(line_no, ".jig needs exactly a name"));
+                }
+                problem.line_stats.netlist_lines += 1;
+                section = Section::Jig(Jig {
+                    name: fields[1].to_lowercase(),
+                    netlist: Netlist::new(),
+                    analyses: Vec::new(),
+                });
+                continue;
+            }
+            ".endjig" => {
+                problem.line_stats.netlist_lines += 1;
+                match std::mem::replace(&mut section, Section::Top) {
+                    Section::Jig(jig) => problem.jigs.push(jig),
+                    _ => return Err(ParseError::new(line_no, ".endjig without .jig")),
+                }
+                continue;
+            }
+            ".bias" => {
+                if !matches!(section, Section::Top) {
+                    return Err(ParseError::new(line_no, ".bias must be at top level"));
+                }
+                problem.line_stats.netlist_lines += 1;
+                section = Section::Bias(Netlist::new());
+                continue;
+            }
+            ".endbias" => {
+                problem.line_stats.netlist_lines += 1;
+                match std::mem::replace(&mut section, Section::Top) {
+                    Section::Bias(nl) => problem.bias = nl,
+                    _ => return Err(ParseError::new(line_no, ".endbias without .bias")),
+                }
+                continue;
+            }
+            _ => {}
+        }
+
+        match &mut section {
+            Section::Top => {
+                parse_top_card(line_no, &head, &fields, &mut problem)?;
+            }
+            Section::Subckt(sub) => {
+                problem.line_stats.netlist_lines += 1;
+                parse_netlist_card(line_no, &head, &fields, &mut sub.body)?;
+            }
+            Section::Jig(jig) => {
+                if head == ".pz" {
+                    problem.line_stats.synthesis_lines += 1;
+                    jig.analyses.push(parse_pz(line_no, &fields)?);
+                } else {
+                    problem.line_stats.netlist_lines += 1;
+                    parse_netlist_card(line_no, &head, &fields, &mut jig.netlist)?;
+                }
+            }
+            Section::Bias(nl) => {
+                problem.line_stats.netlist_lines += 1;
+                parse_netlist_card(line_no, &head, &fields, nl)?;
+            }
+        }
+    }
+
+    if !matches!(section, Section::Top) {
+        return Err(ParseError::new(0, "unterminated section at end of input"));
+    }
+    Ok(problem)
+}
+
+fn parse_top_card(
+    line_no: usize,
+    head: &str,
+    fields: &[String],
+    problem: &mut Problem,
+) -> Result<(), ParseError> {
+    match head {
+        ".title" => {
+            problem.title = fields[1..].join(" ");
+            Ok(())
+        }
+        ".design" => {
+            if fields.len() != 2 {
+                return Err(ParseError::new(line_no, ".design needs a subckt name"));
+            }
+            problem.design = Some(fields[1].to_lowercase());
+            problem.line_stats.netlist_lines += 1;
+            Ok(())
+        }
+        ".var" => {
+            problem.line_stats.synthesis_lines += 1;
+            problem.vars.push(parse_var(line_no, fields)?);
+            Ok(())
+        }
+        ".obj" | ".spec" => {
+            problem.line_stats.synthesis_lines += 1;
+            let kind = if head == ".obj" {
+                SpecKind::Objective
+            } else {
+                SpecKind::Constraint
+            };
+            problem.specs.push(parse_goal(line_no, fields, kind)?);
+            Ok(())
+        }
+        ".model" => {
+            problem.line_stats.netlist_lines += 1;
+            problem.models.push(parse_model(line_no, fields)?);
+            Ok(())
+        }
+        ".region" => {
+            problem.line_stats.synthesis_lines += 1;
+            if fields.len() != 3 {
+                return Err(ParseError::new(line_no, ".region needs: device region"));
+            }
+            let region = fields[2].to_lowercase();
+            if !matches!(region.as_str(), "sat" | "triode" | "off" | "any") {
+                return Err(ParseError::new(
+                    line_no,
+                    format!("unknown region `{region}` (sat|triode|off|any)"),
+                ));
+            }
+            problem.regions.push(RegionReq {
+                device: fields[1].to_lowercase(),
+                region,
+            });
+            Ok(())
+        }
+        _ => Err(ParseError::new(
+            line_no,
+            format!("unexpected card `{head}` at top level"),
+        )),
+    }
+}
+
+fn parse_var(line_no: usize, fields: &[String]) -> Result<VarDecl, ParseError> {
+    if fields.len() < 4 {
+        return Err(ParseError::new(
+            line_no,
+            ".var needs: name min max [log|lin] [cont] [ic=v]",
+        ));
+    }
+    let name = fields[1].to_lowercase();
+    let min = parse_number(&fields[2])
+        .ok_or_else(|| ParseError::new(line_no, format!("bad min `{}`", fields[2])))?;
+    let max = parse_number(&fields[3])
+        .ok_or_else(|| ParseError::new(line_no, format!("bad max `{}`", fields[3])))?;
+    // `!(min < max)` deliberately rejects NaN bounds too.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(min < max) {
+        return Err(ParseError::new(
+            line_no,
+            "variable range must have min < max",
+        ));
+    }
+    let mut decl = VarDecl {
+        name,
+        min,
+        max,
+        scale: VarScale::Log,
+        continuous: false,
+        initial: None,
+    };
+    for f in &fields[4..] {
+        let fl = f.to_lowercase();
+        if fl == "log" {
+            decl.scale = VarScale::Log;
+        } else if fl == "lin" {
+            decl.scale = VarScale::Lin;
+        } else if fl == "cont" {
+            decl.continuous = true;
+        } else if let Some(v) = fl.strip_prefix("ic=") {
+            decl.initial = Some(
+                parse_number(v).ok_or_else(|| ParseError::new(line_no, format!("bad ic `{v}`")))?,
+            );
+        } else {
+            return Err(ParseError::new(line_no, format!("unknown .var flag `{f}`")));
+        }
+    }
+    if decl.scale == VarScale::Log && decl.min <= 0.0 {
+        return Err(ParseError::new(
+            line_no,
+            "log-scaled variable needs positive min (use lin)",
+        ));
+    }
+    Ok(decl)
+}
+
+fn parse_goal(line_no: usize, fields: &[String], kind: SpecKind) -> Result<Goal, ParseError> {
+    if fields.len() < 5 {
+        return Err(ParseError::new(
+            line_no,
+            "goal needs: name 'expr' good=v bad=v",
+        ));
+    }
+    let name = fields[1].to_lowercase();
+    let expr = parse_expr(line_no, &fields[2])?;
+    let mut good = None;
+    let mut bad = None;
+    for f in &fields[3..] {
+        let fl = f.to_lowercase();
+        if let Some(v) = fl.strip_prefix("good=") {
+            good = parse_number(v);
+            if good.is_none() {
+                return Err(ParseError::new(line_no, format!("bad good value `{v}`")));
+            }
+        } else if let Some(v) = fl.strip_prefix("bad=") {
+            bad = parse_number(v);
+            if bad.is_none() {
+                return Err(ParseError::new(line_no, format!("bad bad value `{v}`")));
+            }
+        } else {
+            return Err(ParseError::new(
+                line_no,
+                format!("unknown goal field `{f}`"),
+            ));
+        }
+    }
+    let (good, bad) = match (good, bad) {
+        (Some(g), Some(b)) if g != b => (g, b),
+        (Some(_), Some(_)) => return Err(ParseError::new(line_no, "good and bad must differ")),
+        _ => return Err(ParseError::new(line_no, "goal needs good= and bad=")),
+    };
+    Ok(Goal {
+        name,
+        expr,
+        good,
+        bad,
+        kind,
+    })
+}
+
+fn parse_model(line_no: usize, fields: &[String]) -> Result<ModelCard, ParseError> {
+    if fields.len() < 3 {
+        return Err(ParseError::new(line_no, ".model needs: name kind [k=v …]"));
+    }
+    let name = fields[1].to_lowercase();
+    let kind = fields[2].to_lowercase();
+    let mut params = HashMap::new();
+    for f in &fields[3..] {
+        let (k, v) = f
+            .split_once('=')
+            .ok_or_else(|| ParseError::new(line_no, format!("bad model param `{f}`")))?;
+        let val = parse_number(v)
+            .ok_or_else(|| ParseError::new(line_no, format!("bad model value `{v}`")))?;
+        params.insert(k.to_lowercase(), val);
+    }
+    Ok(ModelCard { name, kind, params })
+}
+
+fn parse_pz(line_no: usize, fields: &[String]) -> Result<Analysis, ParseError> {
+    if fields.len() != 4 {
+        return Err(ParseError::new(
+            line_no,
+            ".pz needs: name v(out[,out-]) source",
+        ));
+    }
+    let name = fields[1].to_lowercase();
+    let out = fields[2].to_lowercase();
+    let inner = out
+        .strip_prefix("v(")
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| ParseError::new(line_no, "output must look like v(node) or v(a,b)"))?;
+    let (out_p, out_m) = match inner.split_once(',') {
+        Some((p, m)) => (p.trim().to_string(), Some(m.trim().to_string())),
+        None => (inner.trim().to_string(), None),
+    };
+    Ok(Analysis {
+        name,
+        out_p,
+        out_m,
+        source: fields[3].to_lowercase(),
+    })
+}
+
+fn parse_netlist_card(
+    line_no: usize,
+    head: &str,
+    fields: &[String],
+    out: &mut Netlist,
+) -> Result<(), ParseError> {
+    if head.starts_with('.') {
+        return Err(ParseError::new(
+            line_no,
+            format!("card `{head}` not allowed inside a circuit section"),
+        ));
+    }
+    let name = head.to_string();
+    let first = name.as_bytes()[0];
+    let lower = |i: usize| -> String { fields[i].to_lowercase() };
+    let need = |n: usize, what: &str| -> Result<(), ParseError> {
+        if fields.len() < n {
+            Err(ParseError::new(line_no, format!("{what}: too few fields")))
+        } else {
+            Ok(())
+        }
+    };
+    match first {
+        b'r' | b'c' | b'l' => {
+            need(4, "two-terminal element")?;
+            let value = parse_value(line_no, &fields[3])?;
+            let kind = match first {
+                b'r' => ElementKind::Resistor { value },
+                b'c' => ElementKind::Capacitor { value },
+                _ => ElementKind::Inductor { value },
+            };
+            out.elements.push(Element {
+                name,
+                nodes: vec![lower(1), lower(2)],
+                kind,
+            });
+        }
+        b'v' | b'i' => {
+            need(4, "independent source")?;
+            let mut dc = Expr::Num(0.0);
+            let mut ac = 0.0;
+            let mut i = 3;
+            let mut saw_dc = false;
+            while i < fields.len() {
+                let f = fields[i].to_lowercase();
+                if f == "dc" {
+                    i += 1;
+                    need(i + 1, "dc value")?;
+                    dc = parse_value(line_no, &fields[i])?;
+                    saw_dc = true;
+                } else if f == "ac" {
+                    i += 1;
+                    need(i + 1, "ac value")?;
+                    ac = parse_number(&fields[i]).ok_or_else(|| {
+                        ParseError::new(line_no, format!("bad ac magnitude `{}`", fields[i]))
+                    })?;
+                } else if !saw_dc {
+                    dc = parse_value(line_no, &fields[i])?;
+                    saw_dc = true;
+                } else {
+                    return Err(ParseError::new(
+                        line_no,
+                        format!("unexpected source field `{}`", fields[i]),
+                    ));
+                }
+                i += 1;
+            }
+            let kind = if first == b'v' {
+                ElementKind::Vsource { dc, ac }
+            } else {
+                ElementKind::Isource { dc, ac }
+            };
+            out.elements.push(Element {
+                name,
+                nodes: vec![lower(1), lower(2)],
+                kind,
+            });
+        }
+        b'e' | b'g' => {
+            need(6, "controlled source")?;
+            let gain = parse_value(line_no, &fields[5])?;
+            let kind = if first == b'e' {
+                ElementKind::Vcvs {
+                    cp: lower(3),
+                    cm: lower(4),
+                    gain,
+                }
+            } else {
+                ElementKind::Vccs {
+                    cp: lower(3),
+                    cm: lower(4),
+                    gm: gain,
+                }
+            };
+            out.elements.push(Element {
+                name,
+                nodes: vec![lower(1), lower(2)],
+                kind,
+            });
+        }
+        b'm' => {
+            need(6, "mosfet")?;
+            let model = lower(5);
+            let mut w = None;
+            let mut l = None;
+            for f in &fields[6..] {
+                let fl = f.to_lowercase();
+                if let Some(v) = fl.strip_prefix("w=") {
+                    w = Some(parse_value(line_no, v)?);
+                } else if let Some(v) = fl.strip_prefix("l=") {
+                    l = Some(parse_value(line_no, v)?);
+                } else {
+                    return Err(ParseError::new(
+                        line_no,
+                        format!("unknown mosfet field `{f}`"),
+                    ));
+                }
+            }
+            let (w, l) = match (w, l) {
+                (Some(w), Some(l)) => (w, l),
+                _ => return Err(ParseError::new(line_no, "mosfet needs w= and l=")),
+            };
+            out.elements.push(Element {
+                name,
+                nodes: vec![lower(1), lower(2), lower(3), lower(4)],
+                kind: ElementKind::Mosfet { model, w, l },
+            });
+        }
+        b'q' => {
+            need(5, "bjt")?;
+            let model = lower(4);
+            let mut area = Expr::Num(1.0);
+            for f in &fields[5..] {
+                let fl = f.to_lowercase();
+                if let Some(v) = fl.strip_prefix("area=") {
+                    area = parse_value(line_no, v)?;
+                } else {
+                    return Err(ParseError::new(line_no, format!("unknown bjt field `{f}`")));
+                }
+            }
+            out.elements.push(Element {
+                name,
+                nodes: vec![lower(1), lower(2), lower(3)],
+                kind: ElementKind::Bjt { model, area },
+            });
+        }
+        b'd' => {
+            need(4, "diode")?;
+            let model = lower(3);
+            let mut area = Expr::Num(1.0);
+            for f in &fields[4..] {
+                let fl = f.to_lowercase();
+                if let Some(v) = fl.strip_prefix("area=") {
+                    area = parse_value(line_no, v)?;
+                } else {
+                    return Err(ParseError::new(
+                        line_no,
+                        format!("unknown diode field `{f}`"),
+                    ));
+                }
+            }
+            out.elements.push(Element {
+                name,
+                nodes: vec![lower(1), lower(2)],
+                kind: ElementKind::Diode { model, area },
+            });
+        }
+        b'x' => {
+            need(3, "subckt instance")?;
+            let subckt = fields.last().expect("len checked").to_lowercase();
+            let nodes = fields[1..fields.len() - 1]
+                .iter()
+                .map(|s| s.to_lowercase())
+                .collect();
+            out.instances.push(Instance {
+                name,
+                nodes,
+                subckt,
+            });
+        }
+        _ => {
+            return Err(ParseError::new(
+                line_no,
+                format!("unknown element type `{name}`"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Section IV differential-amplifier description, transcribed in
+    /// this crate's dialect.
+    const SECTION_IV: &str = "\
+.title simple differential amplifier (paper section iv)
+.var W 1u 1000u log
+.var L 0.8u 100u log
+.var I 1u 10m log
+.var Vb 0.5 4.5 lin cont
+
+.model nmos_m nmos level=1 vto=0.7 kp=100u
+.model pmos_m pmos level=1 vto=-0.8 kp=40u
+
+.subckt amp in+ in- out+ out- nvdd nvss
+m1 out- in+ a nvss nmos_m w='W' l='L'
+m2 out+ in- a nvss nmos_m w='W' l='L'
+m3 out- bias nvdd nvdd pmos_m w=20u l=2u
+m4 out+ bias nvdd nvdd pmos_m w=20u l=2u
+vbias bias 0 'Vb'
+ib a nvss 'I'
+.ends
+
+.jig acjig
+xamp in+ in- out+ out- nvdd nvss amp
+vdd nvdd 0 5
+vss nvss 0 0
+vin in+ 0 0 ac 1
+ein in- 0 0 in+ 1
+cl1 out+ 0 1p
+cl2 out- 0 1p
+.pz tf v(out+) vin
+.endjig
+
+.bias
+xamp in+ in- out+ out- nvdd nvss amp
+vdd nvdd 0 5
+vss nvss 0 0
+vcm in+ 0 2.5
+vcm2 in- 0 2.5
+.endbias
+
+.obj adm 'db(dc_gain(tf))' good=60 bad=20
+.spec ugf 'ugf(tf)' good=1Meg bad=10k
+.spec sr 'I/(2*(1p+xamp.m1.cd+xamp.m3.cd))' good=1Meg bad=10k
+";
+
+    #[test]
+    fn parses_section_iv_example() {
+        let p = parse_problem(SECTION_IV).unwrap();
+        assert_eq!(p.title, "simple differential amplifier (paper section iv)");
+        assert_eq!(p.vars.len(), 4);
+        assert_eq!(p.design.as_deref(), Some("amp"));
+        assert_eq!(p.jigs.len(), 1);
+        assert_eq!(p.specs.len(), 3);
+        assert_eq!(p.models.len(), 2);
+        assert!(!p.bias.is_empty());
+
+        let w = p.var("w").unwrap();
+        assert_eq!(w.min, 1e-6);
+        assert_eq!(w.max, 1e-3);
+        assert_eq!(w.scale, VarScale::Log);
+        assert!(!w.continuous);
+        let vb = p.var("vb").unwrap();
+        assert!(vb.continuous);
+        assert_eq!(vb.scale, VarScale::Lin);
+
+        let amp = &p.subckts["amp"];
+        assert_eq!(amp.ports.len(), 6);
+        assert_eq!(amp.body.elements.len(), 6);
+        match &amp.body.elements[0].kind {
+            ElementKind::Mosfet { model, w, l } => {
+                assert_eq!(model, "nmos_m");
+                assert_eq!(w, &Expr::var("w"));
+                assert_eq!(l, &Expr::var("l"));
+            }
+            other => panic!("expected mosfet, got {other:?}"),
+        }
+
+        let jig = &p.jigs[0];
+        assert_eq!(jig.analyses.len(), 1);
+        assert_eq!(jig.analyses[0].out_p, "out+");
+        assert_eq!(jig.analyses[0].source, "vin");
+        assert_eq!(jig.netlist.instances.len(), 1);
+        assert_eq!(jig.netlist.instances[0].subckt, "amp");
+
+        // Goal semantics: adm maximize, both kinds present.
+        let adm = &p.specs[0];
+        assert_eq!(adm.kind, SpecKind::Objective);
+        assert!(adm.maximize());
+        assert_eq!(p.objectives().count(), 1);
+        assert_eq!(p.constraints().count(), 2);
+    }
+
+    #[test]
+    fn line_stats_split_matches_categories() {
+        let p = parse_problem(SECTION_IV).unwrap();
+        // synthesis lines: 4 .var + 1 .pz + 3 goals = 8
+        assert_eq!(p.line_stats.synthesis_lines, 8);
+        // netlist lines: everything else except .title
+        assert!(p.line_stats.netlist_lines >= 20);
+    }
+
+    #[test]
+    fn jig_flattens_against_library() {
+        let p = parse_problem(SECTION_IV).unwrap();
+        let flat = p.jigs[0].netlist.flatten(&p.subckts).unwrap();
+        // 6 amp elements + 6 jig elements
+        assert_eq!(flat.elements.len(), 12);
+        assert!(flat.elements.iter().any(|e| e.name == "xamp.m1"));
+        // internal node `a` renamed, port node `in+` preserved
+        let m1 = flat.elements.iter().find(|e| e.name == "xamp.m1").unwrap();
+        assert_eq!(m1.nodes, vec!["out-", "in+", "xamp.a", "nvss"]);
+    }
+
+    #[test]
+    fn differential_pz_output() {
+        let a = parse_pz(
+            1,
+            &[
+                ".pz".into(),
+                "tf".into(),
+                "v(out+,out-)".into(),
+                "vin".into(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(a.out_p, "out+");
+        assert_eq!(a.out_m.as_deref(), Some("out-"));
+    }
+
+    #[test]
+    fn source_card_variants() {
+        let mut nl = Netlist::new();
+        parse_netlist_card(1, "v1", &fields("v1 a 0 5"), &mut nl).unwrap();
+        parse_netlist_card(2, "v2", &fields("v2 a 0 dc 3 ac 1"), &mut nl).unwrap();
+        parse_netlist_card(3, "i1", &fields("i1 a 0 10u"), &mut nl).unwrap();
+        match &nl.elements[1].kind {
+            ElementKind::Vsource { dc, ac } => {
+                assert_eq!(dc, &Expr::Num(3.0));
+                assert_eq!(*ac, 1.0);
+            }
+            _ => panic!(),
+        }
+        match &nl.elements[2].kind {
+            ElementKind::Isource {
+                dc: Expr::Num(v), ..
+            } => {
+                assert!((v - 1e-5).abs() < 1e-18)
+            }
+            _ => panic!(),
+        }
+    }
+
+    fn fields(s: &str) -> Vec<String> {
+        split_fields(1, s).unwrap()
+    }
+
+    #[test]
+    fn errors_have_line_numbers() {
+        let src = ".subckt a x\nbogus 1 2 3\n.ends\n";
+        let err = parse_problem(src).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn unterminated_section_is_error() {
+        assert!(parse_problem(".subckt a x\nr1 x 0 1k\n").is_err());
+        assert!(parse_problem(".jig j\n").is_err());
+    }
+
+    #[test]
+    fn mismatched_section_ends() {
+        assert!(parse_problem(".ends\n").is_err());
+        assert!(parse_problem(".endjig\n").is_err());
+        assert!(parse_problem(".endbias\n").is_err());
+    }
+
+    #[test]
+    fn bad_var_cards() {
+        assert!(parse_problem(".var w 1u\n").is_err());
+        assert!(parse_problem(".var w 2u 1u\n").is_err()); // min >= max
+        assert!(parse_problem(".var w -1 1 log\n").is_err()); // log with min<=0
+        assert!(parse_problem(".var w 1u 10u bogus\n").is_err());
+    }
+
+    #[test]
+    fn var_with_ic_and_lin() {
+        let p = parse_problem(".var vb -2 2 lin cont ic=0.5\n").unwrap();
+        let v = p.var("vb").unwrap();
+        assert_eq!(v.initial, Some(0.5));
+        assert!(v.continuous);
+    }
+
+    #[test]
+    fn bad_goal_cards() {
+        assert!(parse_problem(".obj a 'x' good=1\n").is_err());
+        assert!(parse_problem(".obj a 'x' good=1 bad=1\n").is_err());
+        assert!(parse_problem(".spec a 'x' good=1 bad=2 extra=3\n").is_err());
+    }
+
+    #[test]
+    fn diode_card() {
+        let mut nl = Netlist::new();
+        parse_netlist_card(1, "d1", &fields("d1 a k dmod area=2"), &mut nl).unwrap();
+        match &nl.elements[0].kind {
+            ElementKind::Diode { model, area } => {
+                assert_eq!(model, "dmod");
+                assert_eq!(area, &Expr::Num(2.0));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_netlist_card(2, "d2", &fields("d2 a k dmod bogus=1"), &mut nl).is_err());
+    }
+
+    #[test]
+    fn region_card() {
+        let p = parse_problem(
+            ".region xamp.m5 triode
+.region xamp.m9 any
+",
+        )
+        .unwrap();
+        assert_eq!(p.regions.len(), 2);
+        assert_eq!(p.regions[0].device, "xamp.m5");
+        assert_eq!(p.regions[0].region, "triode");
+        assert!(parse_problem(
+            ".region m1 bogus
+"
+        )
+        .is_err());
+        assert!(parse_problem(
+            ".region m1
+"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn model_card_params() {
+        let p = parse_problem(".model nfet nmos level=3 vto=0.75 kp=55u tox=40n\n").unwrap();
+        let m = p.model("nfet").unwrap();
+        assert_eq!(m.kind, "nmos");
+        assert_eq!(m.params["level"], 3.0);
+        assert!((m.params["kp"] - 5.5e-5).abs() < 1e-18);
+    }
+
+    #[test]
+    fn continuation_lines_in_cards() {
+        let src = ".model nfet nmos level=1\n+ vto=0.7\n+ kp=100u\n";
+        let p = parse_problem(src).unwrap();
+        assert_eq!(p.model("nfet").unwrap().params.len(), 3);
+    }
+}

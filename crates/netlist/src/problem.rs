@@ -1,0 +1,195 @@
+//! The parsed synthesis-problem container and its card-level data types.
+
+use crate::{Expr, Netlist, Subckt};
+use std::collections::HashMap;
+
+/// Scale used when griding / moving a design variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VarScale {
+    /// Logarithmically spaced grid — the default for device geometries,
+    /// since small size changes matter proportionally less on large
+    /// devices (paper §V.A).
+    #[default]
+    Log,
+    /// Linearly spaced grid, for voltages and other signed quantities.
+    Lin,
+}
+
+/// A designer-declared independent variable (`.var` card).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Variable name (lowercase).
+    pub name: String,
+    /// Lower bound.
+    pub min: f64,
+    /// Upper bound.
+    pub max: f64,
+    /// Grid scale.
+    pub scale: VarScale,
+    /// Continuous (node-voltage-like) rather than discrete-grid.
+    pub continuous: bool,
+    /// Optional initial value hint (`ic=`); OBLX is starting-point
+    /// independent, so this is only used for reproducible traces.
+    pub initial: Option<f64>,
+}
+
+impl VarDecl {
+    /// Midpoint of the range respecting the scale, used when no `ic` is
+    /// given.
+    pub fn default_initial(&self) -> f64 {
+        match self.scale {
+            VarScale::Log if self.min > 0.0 => (self.min * self.max).sqrt(),
+            _ => 0.5 * (self.min + self.max),
+        }
+    }
+}
+
+/// Whether a goal is an objective (minimize/maximize) or a constraint
+/// (must be at least as good as `good`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecKind {
+    /// `.obj` — drives the `C^obj` cost component.
+    Objective,
+    /// `.spec` — drives the `C^perf` penalty component.
+    Constraint,
+}
+
+/// A performance goal (`.obj` or `.spec` card).
+///
+/// `good` and `bad` both bound the specification and normalize its
+/// contribution to the cost function (paper §IV.A). `good < bad` means
+/// smaller-is-better (e.g. power); `good > bad` means larger-is-better
+/// (e.g. gain).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Goal {
+    /// Goal name (lowercase), e.g. `adm`.
+    pub name: String,
+    /// Measurement expression.
+    pub expr: Expr,
+    /// The value at which the designer is fully satisfied.
+    pub good: f64,
+    /// The value considered completely unacceptable.
+    pub bad: f64,
+    /// Objective vs constraint.
+    pub kind: SpecKind,
+}
+
+impl Goal {
+    /// `true` when larger measured values are better.
+    pub fn maximize(&self) -> bool {
+        self.good > self.bad
+    }
+}
+
+/// A `.pz` transfer-function request inside a jig: ask AWE for
+/// `v(out_p[, out_m]) / source`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// Handle name referenced from goal expressions (e.g. `tf`).
+    pub name: String,
+    /// Positive output node.
+    pub out_p: String,
+    /// Optional negative output node (differential measurement).
+    pub out_m: Option<String>,
+    /// Name of the stimulus source element.
+    pub source: String,
+}
+
+/// A test jig: the measurement environment (stimulus, loads, supplies)
+/// plus the analyses to run in it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Jig {
+    /// Jig name.
+    pub name: String,
+    /// Jig netlist (typically instantiates the circuit under design).
+    pub netlist: Netlist,
+    /// Transfer functions AWE must extract in this jig.
+    pub analyses: Vec<Analysis>,
+}
+
+/// A `.region` card: the operating region a device is designed for
+/// (drives the `C^dev` penalty; devices without a card default to
+/// saturation, the analog workhorse region).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionReq {
+    /// Flattened device name (e.g. `xamp.m5`).
+    pub device: String,
+    /// Required region: `sat`, `triode`, `off`, or `any`.
+    pub region: String,
+}
+
+/// A `.model` card: an opaque, named parameter set interpreted by the
+/// encapsulated device evaluators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelCard {
+    /// Model name referenced from device cards.
+    pub name: String,
+    /// Model family, e.g. `nmos`, `pmos`, `npn` plus `level=` parameter.
+    pub kind: String,
+    /// Raw parameters.
+    pub params: HashMap<String, f64>,
+}
+
+/// Input-size statistics for Table 1 of the paper: the description
+/// splits into SPICE-like netlist/model lines and synthesis-specific
+/// lines (`.var`, `.obj`, `.spec`, `.pz`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LineStats {
+    /// Logical lines describing circuits and models.
+    pub netlist_lines: usize,
+    /// Logical lines describing variables and specifications.
+    pub synthesis_lines: usize,
+}
+
+/// A fully parsed synthesis-problem description.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Problem {
+    /// Optional `.title`.
+    pub title: String,
+    /// Design variables.
+    pub vars: Vec<VarDecl>,
+    /// All subcircuit definitions.
+    pub subckts: HashMap<String, Subckt>,
+    /// Name of the circuit under design (`.design` card, or the first
+    /// subcircuit defined).
+    pub design: Option<String>,
+    /// Test jigs in declaration order.
+    pub jigs: Vec<Jig>,
+    /// The bias circuit (`.bias` … `.endbias`).
+    pub bias: Netlist,
+    /// Objectives and constraints in declaration order.
+    pub specs: Vec<Goal>,
+    /// Device model cards.
+    pub models: Vec<ModelCard>,
+    /// Designer-declared operating regions.
+    pub regions: Vec<RegionReq>,
+    /// Input-size statistics.
+    pub line_stats: LineStats,
+}
+
+impl Problem {
+    /// The goals that are objectives.
+    pub fn objectives(&self) -> impl Iterator<Item = &Goal> {
+        self.specs.iter().filter(|g| g.kind == SpecKind::Objective)
+    }
+
+    /// The goals that are constraints.
+    pub fn constraints(&self) -> impl Iterator<Item = &Goal> {
+        self.specs.iter().filter(|g| g.kind == SpecKind::Constraint)
+    }
+
+    /// Looks up a variable declaration by (lowercase) name.
+    pub fn var(&self, name: &str) -> Option<&VarDecl> {
+        self.vars.iter().find(|v| v.name == name)
+    }
+
+    /// Looks up a model card by name.
+    pub fn model(&self, name: &str) -> Option<&ModelCard> {
+        self.models.iter().find(|m| m.name == name)
+    }
+
+    /// Looks up a jig by name.
+    pub fn jig(&self, name: &str) -> Option<&Jig> {
+        self.jigs.iter().find(|j| j.name == name)
+    }
+}

@@ -1,0 +1,70 @@
+//! Fig. 2 regeneration: the discrepancy from KCL-correct voltages
+//! (the relaxed-dc error) decaying over the course of an annealing
+//! run.
+//!
+//! Prints the worst KCL residual sampled along the optimization — the
+//! paper's plot shows exactly this trace: large early (the annealer is
+//! happily evaluating dc-*in*correct circuits), decaying to
+//! simulator-grade tolerance by freeze-out.
+//!
+//! ```text
+//! cargo run --release --example fig2_relaxed_dc
+//! ```
+
+use astrx_oblx::bench_suite;
+use astrx_oblx::oblx::{synthesize, SynthesisOptions};
+use astrx_oblx::report::TextTable;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let moves: usize = std::env::var("OBLX_MOVES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000);
+    let b = bench_suite::simple_ota();
+    let compiled = astrx_oblx::astrx::compile(b.problem()?)?;
+    let result = synthesize(
+        &compiled,
+        &SynthesisOptions {
+            moves_budget: moves,
+            seed: 5,
+            trace_every: moves / 60,
+            ..SynthesisOptions::default()
+        },
+    )?;
+
+    let series = result
+        .trace
+        .series("kcl_max")
+        .expect("kcl telemetry enabled");
+    println!(
+        "Fig. 2 — KCL discrepancy during optimization ({} moves, {}):\n",
+        moves, b.name
+    );
+    let mut t = TextTable::new(vec!["move", "max |KCL| (A)", "log10", "bar"]);
+    for (mv, kcl) in &series {
+        let k = kcl.max(1e-15);
+        let log = k.log10();
+        // Bar from 1e-12 (right) to 1e-3 (left).
+        let frac = ((log + 12.0) / 9.0).clamp(0.0, 1.0);
+        let bar = "#".repeat((frac * 40.0) as usize);
+        t.row(vec![
+            format!("{mv}"),
+            format!("{k:.3e}"),
+            format!("{log:.1}"),
+            bar,
+        ]);
+    }
+    println!("{}", t.render());
+    let first = series.first().map(|(_, k)| *k).unwrap_or(0.0);
+    let last = series.last().map(|(_, k)| *k).unwrap_or(0.0);
+    println!(
+        "start {:.2e} A  →  end {:.2e} A   (final best state: {:.2e} A)",
+        first, last, result.kcl_max
+    );
+    println!(
+        "The annealer visits dc-incorrect circuits early — the imaginary\n\
+         per-node correction current sources of paper §V.B — and drives them\n\
+         to zero as the KCL penalty ramp dominates at freeze-out."
+    );
+    Ok(())
+}

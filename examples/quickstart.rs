@@ -1,0 +1,60 @@
+//! Quickstart: size the Section IV differential amplifier.
+//!
+//! This is the paper's walkthrough example: a differential pair with
+//! current-source loads, four design variables (`W`, `L`, `I`, `Vb`),
+//! one ac test jig, and three goals. Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use astrx_oblx::oblx::{synthesize, SynthesisOptions};
+use astrx_oblx::report::{eng, pair, TextTable};
+use astrx_oblx::verify::verify_result;
+
+const DIFFAMP: &str = include_str!("../crates/core/src/testdata/diffamp.ox");
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let compiled = astrx_oblx::astrx::compile_source(DIFFAMP)?;
+    println!("ASTRX analysis:");
+    println!("  user variables      : {}", compiled.stats.user_vars);
+    println!("  relaxed-dc nodes    : {}", compiled.stats.node_vars);
+    println!("  cost-function terms : {}", compiled.stats.terms);
+    println!("  emitted C lines     : {}", compiled.stats.c_lines);
+    println!();
+
+    let opts = SynthesisOptions {
+        moves_budget: std::env::var("OBLX_MOVES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(20_000),
+        seed: 7,
+        ..SynthesisOptions::default()
+    };
+    println!("OBLX annealing ({} moves)…", opts.moves_budget);
+    let result = synthesize(&compiled, &opts)?;
+    println!(
+        "  best cost {:.4}  ({} evaluations, {:.2} ms/eval, {:.1} s wall)",
+        result.best_cost, result.evaluations, result.ms_per_eval, result.wall_seconds
+    );
+    println!("  worst KCL residual {:.3e} A", result.kcl_max);
+    println!();
+
+    println!("Synthesized design variables:");
+    for (name, value) in &result.variables {
+        println!("  {name:<4} = {}", eng(*value));
+    }
+    println!();
+
+    let verified = verify_result(&compiled, &result)?;
+    let mut t = TextTable::new(vec!["goal", "OBLX / simulation"]);
+    for (name, p, s) in &verified.rows {
+        t.row(vec![name.clone(), pair(*p, *s)]);
+    }
+    println!("{}", t.render());
+    println!(
+        "worst OBLX-vs-simulation discrepancy: {:.2}%",
+        100.0 * verified.worst_relative_error()
+    );
+    Ok(())
+}

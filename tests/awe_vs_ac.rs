@@ -1,0 +1,195 @@
+//! AWE reduced-order models vs direct per-frequency complex solves, on
+//! the *linearized benchmark circuits themselves* — the paper's claim
+//! that AWE "yields accurate results without manual circuit analysis"
+//! at a fraction of the cost.
+
+use astrx_oblx::astrx::determined_voltages;
+use astrx_oblx::bench_suite;
+use oblx_linalg::Complex;
+use oblx_mna::{solve_dc_with, DcOptions, LinearSystem, SizedCircuit};
+
+/// Builds the ac jig `LinearSystem` of a benchmark at the default
+/// sizing, biased by a true Newton solve.
+fn jig_system(name: &str) -> (LinearSystem, String, oblx_mna::OutputSelector) {
+    let b = bench_suite::by_name(name).expect("benchmark");
+    let compiled = astrx_oblx::astrx::compile(b.problem().expect("parses")).expect("compiles");
+    let user = compiled.initial_user_values();
+    let vars = compiled.var_map(&user);
+    let bias = SizedCircuit::build(&compiled.bias_netlist, &vars, &compiled.lib).expect("bias");
+    let opts = DcOptions {
+        abstol_i: 1e-8,
+        max_iters: 300,
+        ..DcOptions::default()
+    };
+    let op = solve_dc_with(&bias, &opts, None).expect("newton");
+    let _ = determined_voltages(&bias);
+
+    let jig = &compiled.jigs[0];
+    let ckt = SizedCircuit::build(&jig.netlist, &vars, &compiled.lib).expect("jig");
+    let mos: Vec<_> = ckt
+        .mosfets
+        .iter()
+        .map(|m| {
+            let i = bias
+                .mosfets
+                .iter()
+                .position(|bm| bm.name == m.name)
+                .expect("bias counterpart");
+            op.mos_ops[i]
+        })
+        .collect();
+    let bjt: Vec<_> = ckt
+        .bjts
+        .iter()
+        .map(|q| {
+            let i = bias
+                .bjts
+                .iter()
+                .position(|bq| bq.name == q.name)
+                .expect("bias counterpart");
+            op.bjt_ops[i]
+        })
+        .collect();
+    let diode: Vec<_> = ckt
+        .diodes
+        .iter()
+        .map(|d| {
+            let i = bias
+                .diodes
+                .iter()
+                .position(|bd| bd.name == d.name)
+                .expect("bias counterpart");
+            op.diode_ops[i]
+        })
+        .collect();
+    let sys = LinearSystem::from_device_ops(&ckt, &mos, &bjt, &diode);
+    let a = &jig.analyses[0];
+    let out = sys
+        .output_selector(&a.out_p, a.out_m.as_deref())
+        .expect("probe");
+    (sys, a.source.clone(), out)
+}
+
+#[test]
+fn awe_tracks_ac_sweep_on_every_benchmark_jig() {
+    for name in [
+        "Simple OTA",
+        "OTA",
+        "Two-Stage",
+        "Folded Cascode",
+        "Comparator",
+        "BiCMOS Two-Stage",
+        "Novel Folded Cascode",
+    ] {
+        let (sys, src, out) = jig_system(name);
+        let model = oblx_awe::analyze(&sys, &src, out, 5).expect("awe model");
+
+        // dc gain must agree to numerical precision (µ0 is exact).
+        let h0 = sys.transfer(&src, out, 0.0).expect("dc solve").norm();
+        assert!(
+            (model.dc_gain() - h0).abs() <= 1e-9 * h0.max(1e-12),
+            "{name}: dc gain awe {} vs ac {}",
+            model.dc_gain(),
+            h0
+        );
+
+        // Magnitude must track the direct solve from dc through the
+        // unity-gain region (where all specs live); deep in the
+        // stopband (past the crossing, gain ≪ 1) the truncated model
+        // is allowed a looser band — nothing is measured there.
+        let ugf = oblx_awe::unity_gain_frequency(&model);
+        let f_spec = if ugf > 0.0 && ugf < 1e11 {
+            1.5 * ugf
+        } else {
+            // No unity crossing at this sizing: the measured region is
+            // dc through a decade past the dominant pole.
+            model
+                .dominant_pole()
+                .map(|p| 10.0 * p.norm() / (2.0 * std::f64::consts::PI))
+                .unwrap_or(1e6)
+                .clamp(1e3, 1e8)
+        };
+        let f_hi = 2.0 * f_spec;
+        let points = 25;
+        for i in 0..points {
+            let f = 10f64.powf(1.0 + (f_hi.log10() - 1.0) * i as f64 / (points - 1) as f64);
+            let w = 2.0 * std::f64::consts::PI * f;
+            let exact = sys.transfer(&src, out, w).expect("solve").norm();
+            let approx = model.eval(Complex::new(0.0, w)).norm();
+            let rel = (exact - approx).abs() / exact.max(1e-12);
+            if f <= f_spec {
+                assert!(
+                    rel < 0.05,
+                    "{name}: f = {f:.3e} Hz, awe {approx:.4e} vs ac {exact:.4e} ({:.2}%)",
+                    100.0 * rel
+                );
+            } else {
+                // Past the measurement region: either still tracking
+                // (near the crossing), or both deep in the stopband (no
+                // measured quantity lives there; the truncated far
+                // poles are free to differ).
+                assert!(
+                    rel < 0.15 || (approx < 0.2 && exact < 0.2),
+                    "{name}: f = {f:.3e} Hz, awe {approx:.4e} vs ac {exact:.4e} ({:.2}%)",
+                    100.0 * rel
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn awe_ugf_and_pm_match_simulator_measurements() {
+    for name in ["Simple OTA", "Two-Stage", "BiCMOS Two-Stage"] {
+        let (sys, src, out) = jig_system(name);
+        let model = oblx_awe::analyze(&sys, &src, out, 5).expect("model");
+        let ugf_awe = oblx_awe::unity_gain_frequency(&model);
+        let ugf_ac = oblx_mna::ac::unity_gain_frequency(&sys, &src, out).expect("ac ugf");
+        if ugf_ac > 0.0 && ugf_ac < 1e11 {
+            let rel = (ugf_awe - ugf_ac).abs() / ugf_ac;
+            assert!(
+                rel < 0.02,
+                "{name}: ugf awe {ugf_awe:.4e} vs ac {ugf_ac:.4e}"
+            );
+            let pm_awe = oblx_awe::phase_margin(&model);
+            let pm_ac = oblx_mna::ac::phase_margin(&sys, &src, out).expect("ac pm");
+            assert!(
+                (pm_awe - pm_ac).abs() < 3.0,
+                "{name}: pm awe {pm_awe:.2} vs ac {pm_ac:.2}"
+            );
+        }
+    }
+}
+
+/// The economics: one AWE analysis must cost a small fraction of a
+/// 30-point ac sweep on the same system (both use the same matrices).
+#[test]
+fn awe_is_cheaper_than_an_ac_sweep() {
+    let (sys, src, out) = jig_system("Folded Cascode");
+    use std::time::Instant;
+
+    let t0 = Instant::now();
+    let mut acc = 0.0;
+    for _ in 0..20 {
+        let m = oblx_awe::analyze(&sys, &src, out, 5).expect("model");
+        acc += m.dc_gain();
+    }
+    let awe_time = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    for _ in 0..20 {
+        for i in 0..30 {
+            let f = 10f64.powf(1.0 + 8.0 * i as f64 / 29.0);
+            acc += sys
+                .transfer(&src, out, 2.0 * std::f64::consts::PI * f)
+                .expect("solve")
+                .norm();
+        }
+    }
+    let sweep_time = t1.elapsed().as_secs_f64();
+    assert!(acc.is_finite());
+    assert!(
+        awe_time < sweep_time / 3.0,
+        "awe {awe_time:.4}s vs 30-pt sweep {sweep_time:.4}s"
+    );
+}

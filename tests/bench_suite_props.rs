@@ -1,0 +1,125 @@
+//! Property-style invariants across the benchmark suite and the cost
+//! function.
+
+use astrx_oblx::bench_suite;
+use astrx_oblx::cost::CostEvaluator;
+use astrx_oblx::AdaptiveWeights;
+use proptest::prelude::*;
+
+/// Every benchmark compiles and its Table 1 statistics satisfy the
+/// paper's structural claims.
+#[test]
+fn table1_shape_claims_hold() {
+    for b in bench_suite::all() {
+        let c = astrx_oblx::astrx::compile(b.problem().expect("parses"))
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let s = &c.stats;
+        // Tens of lines of input, not thousands of lines of code.
+        assert!(
+            s.netlist_lines + s.synthesis_lines < 150,
+            "{}: {} input lines",
+            b.name,
+            s.netlist_lines + s.synthesis_lines
+        );
+        // Relaxed-dc adds at least as many variables as the user wrote
+        // (device templates carry internal nodes).
+        assert!(
+            s.node_vars >= s.user_vars,
+            "{}: node vars {} < user vars {}",
+            b.name,
+            s.node_vars,
+            s.user_vars
+        );
+        // Terms count covers every goal, device, and KCL constraint.
+        assert!(s.terms > s.user_vars, "{}", b.name);
+        // The generated C is in the thousand-line class the paper
+        // reports, scaling with circuit size.
+        assert!(
+            s.c_lines > 800 && s.c_lines < 10_000,
+            "{}: {} C lines",
+            b.name,
+            s.c_lines
+        );
+        // AWE circuit is bigger than the bias circuit in elements
+        // (linearized templates), same nodes modulo jig sources.
+        let (bn, be) = s.bias_size;
+        let (an, ae) = s.awe_sizes[0];
+        assert!(ae > be, "{}: awe {ae} <= bias {be} elements", b.name);
+        assert!(an >= bn.saturating_sub(6), "{}", b.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The cost function is total: any in-range variable assignment and
+    /// any node-voltage vector in the exploration box evaluates to a
+    /// finite cost (possibly the failure cost, never NaN/∞ or a panic).
+    #[test]
+    fn prop_cost_total_over_design_space(seed in 0u64..1000) {
+        let b = bench_suite::simple_ota();
+        let c = astrx_oblx::astrx::compile(b.problem().expect("parses")).expect("compiles");
+        let ev = CostEvaluator::new(&c);
+        let w = AdaptiveWeights::new(&c);
+
+        // Deterministic pseudo-random point from the seed.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let user: Vec<f64> = c
+            .user_vars
+            .iter()
+            .map(|v| {
+                let r = next();
+                if v.min > 0.0 {
+                    v.min * (v.max / v.min).powf(r)
+                } else {
+                    v.min + r * (v.max - v.min)
+                }
+            })
+            .collect();
+        let nodes: Vec<f64> = (0..c.node_vars.len()).map(|_| -1.0 + 7.0 * next()).collect();
+
+        let breakdown = ev.evaluate(&user, &nodes, &w);
+        prop_assert!(breakdown.total.is_finite());
+        prop_assert!(breakdown.c_dc >= 0.0);
+        prop_assert!(breakdown.c_perf >= 0.0);
+        prop_assert!(breakdown.c_dev >= 0.0);
+    }
+
+    /// Monotone KCL penalty: scaling up every free-node residual by
+    /// moving voltages further from a Kirchhoff-correct point never
+    /// decreases `C^dc`.
+    #[test]
+    fn prop_kcl_penalty_grows_with_displacement(step in 1usize..8) {
+        let b = bench_suite::simple_ota();
+        let c = astrx_oblx::astrx::compile(b.problem().expect("parses")).expect("compiles");
+        let ev = CostEvaluator::new(&c);
+        let w = AdaptiveWeights::new(&c);
+        let user = c.initial_user_values();
+
+        // Start from the Newton point.
+        let vars = c.var_map(&user);
+        let bias = oblx_mna::SizedCircuit::build(&c.bias_netlist, &vars, &c.lib).expect("bias");
+        let opts = oblx_mna::DcOptions { abstol_i: 1e-8, max_iters: 300, ..Default::default() };
+        let op = oblx_mna::solve_dc_with(&bias, &opts, None).expect("newton");
+        let det = astrx_oblx::astrx::determined_voltages(&bias);
+        let nodes: Vec<f64> = det
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_none())
+            .map(|(i, _)| op.v[i])
+            .collect();
+
+        let mut last = ev.try_evaluate(&user, &nodes, &w).expect("eval").c_dc;
+        for k in 1..=step {
+            let moved: Vec<f64> = nodes.iter().map(|v| v + 0.1 * k as f64).collect();
+            let c_dc = ev.try_evaluate(&user, &moved, &w).expect("eval").c_dc;
+            prop_assert!(c_dc + 1e-9 >= last,
+                "displacement {k}: c_dc {c_dc} < previous {last}");
+            last = c_dc;
+        }
+    }
+}

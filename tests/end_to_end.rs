@@ -1,0 +1,155 @@
+//! End-to-end synthesis: description text → ASTRX → OBLX → independent
+//! verification, on the real benchmark suite.
+
+use astrx_oblx::bench_suite;
+use astrx_oblx::oblx::{synthesize, SynthesisOptions};
+use astrx_oblx::verify::verify_result;
+use oblx_netlist::SpecKind;
+
+fn run(
+    name: &str,
+    moves: usize,
+    seed: u64,
+) -> (
+    astrx_oblx::CompiledProblem,
+    astrx_oblx::oblx::SynthesisResult,
+) {
+    let b = bench_suite::by_name(name).expect("benchmark exists");
+    let compiled = astrx_oblx::astrx::compile(b.problem().expect("parses")).expect("compiles");
+    let result = synthesize(
+        &compiled,
+        &SynthesisOptions {
+            moves_budget: moves,
+            seed,
+            quench_patience: 500,
+            ..SynthesisOptions::default()
+        },
+    )
+    .expect("synthesis completes");
+    (compiled, result)
+}
+
+#[test]
+fn simple_ota_synthesis_meets_most_constraints() {
+    let (compiled, result) = run("Simple OTA", 15_000, 1);
+
+    // The relaxed-dc formulation must end dc-correct.
+    assert!(result.kcl_max < 1e-8, "kcl = {:.3e}", result.kcl_max);
+
+    // Count met constraints at the synthesized point.
+    let mut met = 0;
+    let mut total = 0;
+    for (goal, value) in compiled
+        .problem
+        .specs
+        .iter()
+        .zip(result.breakdown.measured.iter())
+    {
+        if goal.kind == SpecKind::Constraint {
+            total += 1;
+            let z = astrx_oblx::cost::normalized(goal, *value);
+            if z <= 0.05 {
+                met += 1;
+            }
+        }
+    }
+    assert!(
+        met * 10 >= total * 8,
+        "at least 80% of constraints met: {met}/{total}"
+    );
+
+    // Verification through the full simulator agrees with AWE almost
+    // exactly (the paper's accuracy claim).
+    let verified = verify_result(&compiled, &result).expect("verifies");
+    assert!(
+        verified.worst_relative_error() < 0.05,
+        "worst OBLX-vs-sim error {:.2}%",
+        100.0 * verified.worst_relative_error()
+    );
+}
+
+#[test]
+fn two_stage_synthesis_converges_dc_and_verifies() {
+    let (compiled, result) = run("Two-Stage", 12_000, 2);
+    assert!(result.kcl_max < 1e-7, "kcl = {:.3e}", result.kcl_max);
+    let verified = verify_result(&compiled, &result).expect("verifies");
+    // Small-signal rows must closely agree; expression-based rows are
+    // exact by construction. Allow a slightly looser bound than the
+    // Simple OTA since the Miller pole-splitting is more sensitive.
+    for (name, pred, sim) in &verified.rows {
+        let rel = (pred - sim).abs() / sim.abs().max(1e-12);
+        assert!(
+            rel < 0.25,
+            "{name}: OBLX {pred:.4e} vs sim {sim:.4e} ({:.1}% off)",
+            rel * 100.0
+        );
+    }
+}
+
+#[test]
+fn bicmos_synthesis_runs_with_bipolar_devices() {
+    // The paper's protocol is 5–10 annealing runs with the best kept;
+    // two short runs suffice here.
+    let (compiled, a) = run("BiCMOS Two-Stage", 8_000, 1);
+    let (_, b) = run("BiCMOS Two-Stage", 8_000, 3);
+    let result = if a.best_cost <= b.best_cost { a } else { b };
+    assert!(result.evaluations > 5_000);
+    // The npn must end up forward-active in the verified design.
+    let verified = verify_result(&compiled, &result).expect("verifies");
+    assert!(verified.op_residual < 1e-7);
+    // Gain of a two-stage with a bipolar second stage should be
+    // substantial once biased.
+    let adm = verified
+        .rows
+        .iter()
+        .find(|(n, _, _)| n == "adm")
+        .map(|(_, _, s)| *s)
+        .expect("adm row");
+    assert!(adm > 20.0, "adm = {adm} dB");
+}
+
+#[test]
+fn synthesis_repeatable_and_seed_sensitive() {
+    let (_, a) = run("Simple OTA", 2_000, 7);
+    let (_, b) = run("Simple OTA", 2_000, 7);
+    let (_, c) = run("Simple OTA", 2_000, 8);
+    assert_eq!(a.best_cost.to_bits(), b.best_cost.to_bits());
+    assert_ne!(a.best_cost.to_bits(), c.best_cost.to_bits());
+}
+
+#[test]
+fn per_evaluation_time_is_milliseconds_scale() {
+    // The paper reports 36–116 ms/eval on 1994 hardware; on modern
+    // hardware the same work lands well under 10 ms. This guards
+    // against pathological slowdowns.
+    let (_, result) = run("Simple OTA", 3_000, 4);
+    assert!(result.ms_per_eval < 10.0, "{} ms/eval", result.ms_per_eval);
+}
+
+/// Diagnostic (run with --ignored): dump |H| near the unity crossing of
+/// the two-stage design where AWE and the simulator disagreed on ugf.
+#[test]
+#[ignore]
+fn diag_two_stage_crossing() {
+    use astrx_oblx::cost::CostEvaluator;
+    let (compiled, result) = run("Two-Stage", 12_000, 2);
+    let ev = CostEvaluator::new(&compiled);
+    let record = ev.record(&result.state.user, &result.state.nodes).unwrap();
+    let model = &record.models["tf"];
+    println!("model order {}, poles:", model.order());
+    for p in model.poles() {
+        println!(
+            "  {:.4e} + {:.4e} j (|p|/2pi = {:.4e} Hz)",
+            p.re,
+            p.im,
+            p.norm() / (2.0 * std::f64::consts::PI)
+        );
+    }
+    // Simulator-side magnitudes via verify path: rebuild the jig system.
+    let v = verify_result(&compiled, &result).unwrap();
+    println!("verify rows: {:?}", v.rows);
+    for f in [3e6, 5e6, 7e6, 7.5e6, 8e6, 9e6, 10e6, 10.4e6, 12e6, 15e6] {
+        let awe = oblx_awe::gain_at(model, f);
+        println!("f = {:.2e}: awe |H| = {:.5}", f, awe);
+    }
+}

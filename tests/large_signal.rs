@@ -1,0 +1,96 @@
+//! Large-signal cross-checks: the paper's designer-supplied slew-rate
+//! and swing *expressions* against real transient and dc-sweep
+//! measurements — the validation the 1994 toolchain could not afford to
+//! run inside the loop.
+
+use astrx_oblx::bench_suite;
+use astrx_oblx::oblx::{synthesize, SynthesisOptions};
+use astrx_oblx::verify::{swept_swing, transient_slew};
+
+fn synthesized() -> (
+    astrx_oblx::CompiledProblem,
+    astrx_oblx::oblx::SynthesisResult,
+) {
+    let b = bench_suite::simple_ota();
+    let compiled = astrx_oblx::astrx::compile(b.problem().expect("parses")).expect("compiles");
+    let result = synthesize(
+        &compiled,
+        &SynthesisOptions {
+            moves_budget: 12_000,
+            seed: 1,
+            quench_patience: 400,
+            ..SynthesisOptions::default()
+        },
+    )
+    .expect("synthesis");
+    (compiled, result)
+}
+
+#[test]
+fn slew_expression_matches_transient_measurement() {
+    let (compiled, result) = synthesized();
+    let sr_expr = result.measure("sr").expect("sr goal");
+    // Large positive step slews the output at the mirror-limited rate.
+    let sr_tran = transient_slew(&compiled, &result.state, "acjig", 1.5).expect("transient");
+    // The expression is a first-order estimate (the paper's own SR rows
+    // disagree with simulation by up to ~18%); require same order of
+    // magnitude and the right ballpark.
+    let ratio = sr_tran / sr_expr;
+    assert!(
+        (0.3..3.0).contains(&ratio),
+        "transient slew {sr_tran:.3e} vs expression {sr_expr:.3e} (ratio {ratio:.2})"
+    );
+}
+
+#[test]
+fn swing_expression_matches_dc_sweep() {
+    let (compiled, result) = synthesized();
+    let swing_expr = result.measure("swing").expect("swing goal");
+    let swing_meas = swept_swing(&compiled, &result.state, "acjig", 2.0).expect("sweep");
+    let ratio = swing_meas / swing_expr;
+    assert!(
+        (0.4..2.5).contains(&ratio),
+        "swept swing {swing_meas:.3} V vs expression {swing_expr:.3} V (ratio {ratio:.2})"
+    );
+}
+
+#[test]
+fn transient_output_settles_after_step() {
+    // Sanity on the transient engine itself at a synthesized bias
+    // point: a small step must settle without blowing up.
+    let (compiled, result) = synthesized();
+    let vars = compiled.var_map(&result.state.user);
+    let jig = &compiled.jigs[0];
+    let ckt = oblx_mna::SizedCircuit::build(&jig.netlist, &vars, &compiled.lib).expect("jig");
+    let w = oblx_mna::step_response(
+        &ckt,
+        "vin",
+        0.01,
+        &oblx_mna::TranOptions {
+            dt: 2e-9,
+            t_stop: 1e-6,
+            ..oblx_mna::TranOptions::default()
+        },
+    )
+    .expect("transient");
+    let out = ckt.nodes.get("out").expect("out node");
+    let trace = w.node(out);
+    let last = trace.last().unwrap().1;
+    assert!(
+        last.is_finite() && last.abs() < 10.0,
+        "v(out) final = {last}"
+    );
+    // Settled: the last 10% of the trace moves by < 10 mV.
+    let tail_start = trace.len() * 9 / 10;
+    let tail_span = trace[tail_start..]
+        .iter()
+        .map(|(_, v)| *v)
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+            (lo.min(v), hi.max(v))
+        });
+    assert!(
+        tail_span.1 - tail_span.0 < 0.01,
+        "tail still moving: {:?}",
+        tail_span
+    );
+}
