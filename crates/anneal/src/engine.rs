@@ -1,6 +1,6 @@
 //! The Metropolis loop binding schedule, move statistics, and problem.
 
-use crate::moves::MoveStats;
+use crate::moves::{DirtySet, MoveStats};
 use crate::schedule::{initial_temperature, LamSchedule};
 use crate::trace::{Trace, TracePoint};
 use rand::rngs::StdRng;
@@ -36,6 +36,33 @@ pub trait AnnealProblem {
         scale: f64,
         rng: &mut dyn Rng,
     ) -> Option<Self::State>;
+
+    /// Proposes a move together with the [`DirtySet`] of variables it
+    /// touched, enabling incremental cost evaluation downstream. The
+    /// default wraps [`AnnealProblem::propose`] with the conservative
+    /// everything-dirty set; problems with incremental evaluators
+    /// override this (and make `propose` delegate to it) so the two
+    /// stay consistent.
+    fn propose_dirty(
+        &mut self,
+        state: &Self::State,
+        class: usize,
+        scale: f64,
+        rng: &mut dyn Rng,
+    ) -> Option<(Self::State, DirtySet)> {
+        self.propose(state, class, scale, rng)
+            .map(|s| (s, DirtySet::everything()))
+    }
+
+    /// The cost of a state the engine just obtained from
+    /// [`AnnealProblem::propose_dirty`]; `dirty` says which variables
+    /// the move declared touched relative to the previous state, so an
+    /// incremental evaluator can skip unchanged work. Must return the
+    /// same value as [`AnnealProblem::cost`] (the default simply
+    /// delegates).
+    fn cost_moved(&mut self, state: &Self::State, _dirty: &DirtySet) -> f64 {
+        self.cost(state)
+    }
 
     /// Names of the telemetry channels sampled into the trace.
     fn telemetry_names(&self) -> Vec<String> {
@@ -140,8 +167,8 @@ impl Annealer {
         let mut deltas = Vec::with_capacity(self.opts.warmup_moves);
         for _ in 0..self.opts.warmup_moves {
             let class = stats.pick(&mut self.rng);
-            if let Some(cand) = problem.propose(&state, class, 1.0, &mut self.rng) {
-                let c = problem.cost(&cand);
+            if let Some((cand, dirty)) = problem.propose_dirty(&state, class, 1.0, &mut self.rng) {
+                let c = problem.cost_moved(&cand, &dirty);
                 deltas.push(c - cost);
                 // Drift through the probe (keeps it away from a single
                 // point) but only downhill, so T₀ reflects the start.
@@ -166,15 +193,15 @@ impl Annealer {
             let class = stats.pick(&mut self.rng);
             let scale = stats.scale(class);
             attempted += 1;
-            let proposal = problem.propose(&state, class, scale, &mut self.rng);
+            let proposal = problem.propose_dirty(&state, class, scale, &mut self.rng);
             let accepted = match proposal {
                 None => {
                     stats.record(class, false, 0.0);
                     schedule.record(false);
                     false
                 }
-                Some(cand) => {
-                    let cand_cost = problem.cost(&cand);
+                Some((cand, dirty)) => {
+                    let cand_cost = problem.cost_moved(&cand, &dirty);
                     let delta = cand_cost - cost;
                     let t = schedule.temperature();
                     let take =
@@ -229,8 +256,9 @@ impl Annealer {
             let scale = stats.scale(class);
             attempted += 1;
             since_improvement += 1;
-            if let Some(cand) = problem.propose(&state, class, scale, &mut self.rng) {
-                let cand_cost = problem.cost(&cand);
+            if let Some((cand, dirty)) = problem.propose_dirty(&state, class, scale, &mut self.rng)
+            {
+                let cand_cost = problem.cost_moved(&cand, &dirty);
                 let delta = cand_cost - cost;
                 let take = delta < 0.0;
                 stats.record(class, take, delta);
@@ -468,7 +496,6 @@ mod tests {
         // middle of the run.
         struct Probe {
             inner: Sphere,
-            samples: Vec<(f64, f64)>, // (progress, acceptance)
         }
         impl AnnealProblem for Probe {
             type State = Vec<f64>;
@@ -505,7 +532,6 @@ mod tests {
         });
         let mut p = Probe {
             inner: Sphere { dim: 4 },
-            samples: Vec::new(),
         };
         let res = a.run(&mut p);
         // Mid-run points (30–60% progress) should hover near the 0.44

@@ -53,6 +53,6 @@ pub mod schedule;
 mod trace;
 
 pub use engine::{AnnealOptions, AnnealProblem, AnnealResult, Annealer};
-pub use moves::{ClassStats, MoveStats};
+pub use moves::{ClassStats, DirtySet, MoveStats};
 pub use schedule::LamSchedule;
 pub use trace::{Trace, TracePoint};

@@ -10,6 +10,57 @@
 
 use rand::Rng;
 
+/// What a proposed move touched, relative to the state it was derived
+/// from — the contract between [`crate::AnnealProblem::propose_dirty`]
+/// and [`crate::AnnealProblem::cost_moved`].
+///
+/// The split into *primary* and *auxiliary* indices is generic: the
+/// problem defines what each group means (OBLX uses primary = user
+/// variables, auxiliary = relaxed-dc node voltages). A move must
+/// declare a **superset** of what it actually changed; declaring too
+/// much only costs speed, declaring too little is a correctness bug
+/// (incremental evaluators may reuse stale partial results).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DirtySet {
+    /// Conservative flag: everything may have changed. When set, the
+    /// index lists are irrelevant.
+    pub all: bool,
+    /// Indices of changed primary variables.
+    pub primary: Vec<usize>,
+    /// Indices of changed auxiliary variables.
+    pub aux: Vec<usize>,
+}
+
+impl DirtySet {
+    /// The conservative set: everything may have changed.
+    pub fn everything() -> Self {
+        DirtySet {
+            all: true,
+            primary: Vec::new(),
+            aux: Vec::new(),
+        }
+    }
+
+    /// A precise set from primary and auxiliary index lists.
+    pub fn of(primary: Vec<usize>, aux: Vec<usize>) -> Self {
+        DirtySet {
+            all: false,
+            primary,
+            aux,
+        }
+    }
+
+    /// `true` when index `i` is declared dirty in the primary group.
+    pub fn primary_dirty(&self, i: usize) -> bool {
+        self.all || self.primary.contains(&i)
+    }
+
+    /// `true` when index `i` is declared dirty in the auxiliary group.
+    pub fn aux_dirty(&self, i: usize) -> bool {
+        self.all || self.aux.contains(&i)
+    }
+}
+
 /// Statistics for one move class.
 #[derive(Debug, Clone, Default)]
 pub struct ClassStats {

@@ -12,8 +12,11 @@
 //!
 //! Pipeline (see [`analyze`]):
 //!
-//! 1. moments `m₀ = G⁻¹·b`, `m_{k+1} = −G⁻¹·C·m_k`, outputs
-//!    `µ_k = l·m_k`;
+//! 1. adjoint moments: `a₀ = G⁻ᵀ·l`, `a_{k+1} = −G⁻ᵀ·Cᵀ·a_k`, outputs
+//!    `µ_k = a_k·b` — mathematically identical to the direct recurrence
+//!    `m₀ = G⁻¹·b`, `µ_k = l·m_k`, but the solve chain depends only on
+//!    the *output probe*, so every stimulus sharing a probe (gain and
+//!    both PSRR analyses of one amplifier) reuses it ([`analyze_batch`]);
 //! 2. frequency scaling by `ω₀ = |µ₀/µ₁|` to condition the Hankel
 //!    system;
 //! 3. Padé: Hankel solve for the denominator, Aberth roots for poles,
@@ -61,4 +64,6 @@ mod moments;
 
 pub use measure::{gain_at, phase_margin, unity_gain_frequency};
 pub use model::{AweError, ReducedModel};
-pub use moments::{analyze, analyze_shifted, moments, Moments};
+pub use moments::{
+    analyze, analyze_batch, analyze_shifted, analyze_with, moments, moments_with, Moments,
+};

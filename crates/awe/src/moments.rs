@@ -1,8 +1,66 @@
 //! Moment generation and the adaptive Padé fit.
 
 use crate::model::{AweError, ReducedModel};
-use oblx_linalg::{solve_hankel, solve_vandermonde, Complex, Lu, Poly};
+use oblx_linalg::{solve_hankel, solve_vandermonde, Complex, Lu, Mat, Poly};
 use oblx_mna::{LinearSystem, OutputSelector};
+
+/// Compressed rows of the transposed capacitance matrix (structural
+/// nonzeros only), built once per factorization and shared by every
+/// adjoint moment recurrence against it. MNA `C` matrices are
+/// overwhelmingly zero — only capacitor and junction-capacitance stamps
+/// populate them — so the recurrence's `Cᵀ·a_k` products collapse from
+/// `n²` to a handful of terms per row.
+struct SparseC {
+    dim: usize,
+    /// Row `r` owns `cols[starts[r]..starts[r+1]]` / same for `vals`.
+    starts: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl SparseC {
+    /// Compressed rows of `Cᵀ` (row `r` holds column `r` of `C`) — the
+    /// operator the adjoint moment recurrence applies.
+    fn build_transpose(c: &Mat<f64>) -> SparseC {
+        let (rows, ncols) = (c.rows(), c.cols());
+        let data = c.as_slice();
+        let mut starts = Vec::with_capacity(ncols + 1);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        starts.push(0);
+        for tc in 0..ncols {
+            for r in 0..rows {
+                let v = data[r * ncols + tc];
+                if v != 0.0 {
+                    cols.push(r);
+                    vals.push(v);
+                }
+            }
+            starts.push(cols.len());
+        }
+        SparseC {
+            dim: ncols,
+            starts,
+            cols,
+            vals,
+        }
+    }
+
+    /// `y = −(C·x)`: ascending-column accumulation identical to the
+    /// dense product with its structural-zero terms dropped.
+    fn mul_neg_into(&self, x: &[f64], y: &mut Vec<f64>) {
+        y.clear();
+        y.resize(self.dim, 0.0);
+        for (r, yr) in y.iter_mut().enumerate() {
+            let (lo, hi) = (self.starts[r], self.starts[r + 1]);
+            let mut acc = 0.0;
+            for (c, v) in self.cols[lo..hi].iter().zip(self.vals[lo..hi].iter()) {
+                acc += *v * x[*c];
+            }
+            *yr = -acc;
+        }
+    }
+}
 
 /// The raw transfer-function moments `µ_0 … µ_{2q_max−1}` of a system,
 /// plus the shared LU factorization statistics.
@@ -32,19 +90,79 @@ pub fn moments(
     let b = sys
         .input_vector(source)
         .ok_or_else(|| AweError::UnknownSource(source.to_string()))?;
+    moments_with(sys, &b, out, count)
+}
+
+/// [`moments`] with a precomputed stimulus vector `b` — lets callers
+/// that analyze the same source repeatedly (the incremental cost
+/// evaluator) skip the per-call source-name lookup and allocation.
+///
+/// # Errors
+///
+/// [`AweError::SingularG`] when the conductance matrix cannot be
+/// factored.
+pub fn moments_with(
+    sys: &LinearSystem,
+    b: &[f64],
+    out: OutputSelector,
+    count: usize,
+) -> Result<Moments, AweError> {
     let lu = Lu::factor(sys.g.clone()).map_err(|_| AweError::SingularG)?;
-    let mut mu = Vec::with_capacity(count);
-    // m0 = G⁻¹ b
-    let mut m = lu.solve(&b);
-    mu.push(out.read(&m));
-    for _ in 1..count {
-        // m_{k+1} = −G⁻¹ C m_k
-        let cm = sys.c.mul_vec(&m);
-        let rhs: Vec<f64> = cm.iter().map(|&v| -v).collect();
-        m = lu.solve(&rhs);
-        mu.push(out.read(&m));
+    Ok(moments_factored(
+        &lu,
+        &SparseC::build_transpose(&sys.c),
+        b,
+        out,
+        count,
+    ))
+}
+
+/// The adjoint moment row-vectors of one output probe against a
+/// prefactored system matrix: `a_0 = G⁻ᵀ·out`,
+/// `a_{k+1} = −G⁻ᵀ·Cᵀ·a_k`, so the `k`-th transfer-function moment of
+/// *any* stimulus `b` through that probe is the dot product `a_k·b`.
+/// This is the classic AWE adjoint formulation: the factorization cost
+/// is per *output*, not per stimulus, which lets one factored system
+/// serve a whole family of transfer functions (the gain / PSRR⁺ /
+/// PSRR⁻ trio of an amplifier) with `2q` solves total.
+fn adjoint_vectors(lu: &Lu<f64>, ct: &SparseC, out: OutputSelector, count: usize) -> Vec<Vec<f64>> {
+    let n = lu.dim();
+    let mut vecs: Vec<Vec<f64>> = Vec::with_capacity(count);
+    let mut r = out.as_vector(n);
+    let mut scratch = Vec::with_capacity(n);
+    for k in 0..count {
+        if k > 0 {
+            ct.mul_neg_into(&vecs[k - 1], &mut r);
+        }
+        let mut a = Vec::with_capacity(n);
+        lu.solve_transpose_into(&r, &mut a, &mut scratch);
+        vecs.push(a);
     }
-    Ok(Moments { mu })
+    vecs
+}
+
+/// Plain ascending-index dot product — the one reduction both the
+/// job-at-a-time and the batch path use to turn an adjoint vector and a
+/// stimulus into a moment, so they agree bit for bit.
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).fold(0.0, |acc, (x, y)| acc + x * y)
+}
+
+/// The moment sequence against a prefactored system matrix, via the
+/// adjoint recurrence of [`adjoint_vectors`]. The single implementation
+/// shared by the base, shifted and batch analyses, so every entry point
+/// runs identical arithmetic.
+fn moments_factored(
+    lu: &Lu<f64>,
+    ct: &SparseC,
+    b: &[f64],
+    out: OutputSelector,
+    count: usize,
+) -> Moments {
+    let avs = adjoint_vectors(lu, ct, out, count);
+    Moments {
+        mu: avs.iter().map(|a| dot(a, b)).collect(),
+    }
 }
 
 /// Builds a reduced-order model of the transfer function from `source`
@@ -65,8 +183,104 @@ pub fn analyze(
     out: OutputSelector,
     max_q: usize,
 ) -> Result<ReducedModel, AweError> {
+    let b = sys
+        .input_vector(source)
+        .ok_or_else(|| AweError::UnknownSource(source.to_string()))?;
+    analyze_with(sys, &b, out, max_q)
+}
+
+/// [`analyze`] with a precomputed stimulus vector `b`: the one and only
+/// implementation of the base + shifted-expansion model fit, so the
+/// precompiled-plan evaluation path and the cold path cannot diverge.
+///
+/// # Errors
+///
+/// [`AweError`] as for [`moments_with`].
+pub fn analyze_with(
+    sys: &LinearSystem,
+    b: &[f64],
+    out: OutputSelector,
+    max_q: usize,
+) -> Result<ReducedModel, AweError> {
     let max_q = max_q.clamp(1, 12);
-    let mm = moments(sys, source, out, 2 * max_q)?;
+    let lu = Lu::factor(sys.g.clone()).map_err(|_| AweError::SingularG)?;
+    analyze_factored(sys, &lu, &SparseC::build_transpose(&sys.c), b, out, max_q)
+}
+
+/// [`analyze_with`] over several stimulus/probe pairs of the *same*
+/// system: factors `G` once and reuses it for every job, and — the
+/// adjoint dividend — computes each distinct output probe's adjoint
+/// vectors once, so all jobs sharing a probe (the gain / PSRR⁺ / PSRR⁻
+/// trio of one amplifier, which differ only in stimulus) cost one dot
+/// product per moment instead of a fresh solve chain. Each model is
+/// bit-identical to a standalone [`analyze_with`] call, because the
+/// adjoint vectors depend only on `(G, C, out)` — not on the stimulus —
+/// and both paths take the same `a_k·b` reduction through the same
+/// (deterministic) factorization.
+///
+/// Returns the reduced models in job order.
+///
+/// # Errors
+///
+/// The first failing job's index with its error. A singular `G` is
+/// attributed to job 0 — the job-at-a-time path would hit the same
+/// factorization failure on its first analysis.
+#[allow(clippy::type_complexity)]
+pub fn analyze_batch(
+    sys: &LinearSystem,
+    jobs: &[(&[f64], OutputSelector)],
+    max_q: usize,
+) -> Result<Vec<ReducedModel>, (usize, AweError)> {
+    let max_q = max_q.clamp(1, 12);
+    let lu = Lu::factor(sys.g.clone()).map_err(|_| (0, AweError::SingularG))?;
+    let ct = SparseC::build_transpose(&sys.c);
+    // Adjoint vectors per distinct probe, computed lazily on first use.
+    let mut outs: Vec<OutputSelector> = Vec::new();
+    let mut avs_cache: Vec<Vec<Vec<f64>>> = Vec::new();
+    let mut models = Vec::with_capacity(jobs.len());
+    for (i, (b, out)) in jobs.iter().enumerate() {
+        let k = match outs.iter().position(|o| *o == *out) {
+            Some(k) => k,
+            None => {
+                outs.push(*out);
+                avs_cache.push(adjoint_vectors(&lu, &ct, *out, 2 * max_q));
+                outs.len() - 1
+            }
+        };
+        let mm = Moments {
+            mu: avs_cache[k].iter().map(|a| dot(a, b)).collect(),
+        };
+        models.push(analyze_from_moments(sys, &ct, b, *out, max_q, mm).map_err(|e| (i, e))?);
+    }
+    Ok(models)
+}
+
+/// The base + shifted-expansion model fit against a prefactored `G`
+/// (clamping `max_q` is the caller's responsibility).
+fn analyze_factored(
+    sys: &LinearSystem,
+    lu: &Lu<f64>,
+    ct: &SparseC,
+    b: &[f64],
+    out: OutputSelector,
+    max_q: usize,
+) -> Result<ReducedModel, AweError> {
+    let mm = moments_factored(lu, ct, b, out, 2 * max_q);
+    analyze_from_moments(sys, ct, b, out, max_q, mm)
+}
+
+/// Fits the model from already-computed base moments, re-expanding
+/// about the estimated unity-gain crossing when the pole spread demands
+/// it. Factored out of [`analyze_factored`] so [`analyze_batch`] can
+/// feed moments taken from cached adjoint vectors.
+fn analyze_from_moments(
+    sys: &LinearSystem,
+    ct: &SparseC,
+    b: &[f64],
+    out: OutputSelector,
+    max_q: usize,
+    mm: Moments,
+) -> Result<ReducedModel, AweError> {
     let base = fit_model(&mm.mu, max_q)?;
 
     // When the unity-gain crossing sits far above the dominant pole,
@@ -83,7 +297,7 @@ pub fn analyze(
     if f_cross <= 0.0 || f_cross >= 1.0e12 || dominant <= 0.0 || w_cross < 100.0 * dominant {
         return Ok(base);
     }
-    match analyze_shifted(sys, source, out, max_q, w_cross, mm.mu[0]) {
+    match analyze_shifted_with(sys, ct, b, out, max_q, w_cross, mm.mu[0]) {
         Ok(shifted) => {
             // Arbitration without extra solves: a trustworthy shifted
             // fit must also capture the dominant pole (it lies within a
@@ -126,32 +340,52 @@ pub fn analyze_shifted(
     sigma: f64,
     mu0_exact: f64,
 ) -> Result<ReducedModel, AweError> {
-    let max_q = max_q.clamp(1, 12);
     let b = sys
         .input_vector(source)
         .ok_or_else(|| AweError::UnknownSource(source.to_string()))?;
+    analyze_shifted_with(
+        sys,
+        &SparseC::build_transpose(&sys.c),
+        &b,
+        out,
+        max_q,
+        sigma,
+        mu0_exact,
+    )
+}
+
+/// [`analyze_shifted`] with a precomputed stimulus vector and
+/// compressed `Cᵀ` rows. The adjoint recurrence runs against
+/// `(G + σC)ᵀ` via the transpose solve of the shifted factorization —
+/// the same [`moments_factored`] implementation as the base expansion.
+///
+/// # Errors
+///
+/// [`AweError::SingularG`] when `(G + σC)` cannot be factored.
+fn analyze_shifted_with(
+    sys: &LinearSystem,
+    ct: &SparseC,
+    b: &[f64],
+    out: OutputSelector,
+    max_q: usize,
+    sigma: f64,
+    mu0_exact: f64,
+) -> Result<ReducedModel, AweError> {
+    let max_q = max_q.clamp(1, 12);
     // Shifted system matrix G + σC (real for real σ).
     let dim = sys.g.rows();
     let mut gs = sys.g.clone();
     for r in 0..dim {
-        for c in 0..dim {
-            let cv = sys.c.get(r, c);
+        for cc in 0..dim {
+            let cv = sys.c.get(r, cc);
             if cv != 0.0 {
-                gs.add_at(r, c, sigma * cv);
+                gs.add_at(r, cc, sigma * cv);
             }
         }
     }
     let lu = Lu::factor(gs).map_err(|_| AweError::SingularG)?;
-    let count = 2 * max_q;
-    let mut mu = Vec::with_capacity(count);
-    let mut m = lu.solve(&b);
-    mu.push(out.read(&m));
-    for _ in 1..count {
-        let cm = sys.c.mul_vec(&m);
-        let rhs: Vec<f64> = cm.iter().map(|&v| -v).collect();
-        m = lu.solve(&rhs);
-        mu.push(out.read(&m));
-    }
+    let mm = moments_factored(&lu, ct, b, out, 2 * max_q);
+    let mu = mm.mu;
     let local = fit_model(&mu, max_q)?;
     // Translate poles back to the s-plane; residues are frame-invariant.
     let poles: Vec<Complex> = local
@@ -253,14 +487,20 @@ pub fn fit_model(mu: &[f64], max_q: usize) -> Result<ReducedModel, AweError> {
 /// sequence to tight relative tolerance.
 fn moments_reproduced(poles: &[Complex], residues: &[Complex], scaled: &[f64]) -> bool {
     let scale = scaled.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+    // Running pole powers: `ppow[i]` holds `p_i^{j+1}` at moment `j`,
+    // advanced by one multiplication per moment — the same
+    // left-associated product chain as recomputing each power from
+    // scratch, so the check is bit-identical to the naive loop.
+    let mut ppow: Vec<Complex> = poles.to_vec();
     for (j, &target) in scaled.iter().enumerate() {
-        let mut acc = Complex::ZERO;
-        for (p, k) in poles.iter().zip(residues.iter()) {
-            let mut ppow = *p;
-            for _ in 0..j {
-                ppow *= *p;
+        if j > 0 {
+            for (pw, p) in ppow.iter_mut().zip(poles.iter()) {
+                *pw *= *p;
             }
-            acc += *k / ppow;
+        }
+        let mut acc = Complex::ZERO;
+        for (pw, k) in ppow.iter().zip(residues.iter()) {
+            acc += *k / *pw;
         }
         let model_mu = -acc.re;
         if (model_mu - target).abs() > 1e-6 * scale.max(target.abs()) + 1e-300 {
@@ -296,19 +536,22 @@ fn try_order(scaled: &[f64], q: usize) -> Option<(Vec<Complex>, Vec<Complex>)> {
     if residues.iter().any(|r| r.is_bad()) {
         return None;
     }
-    // Self-check: the model must reproduce the moments it was fitted to.
+    // Self-check: the model must reproduce the moments it was fitted
+    // to. Running pole powers, exactly as in [`moments_reproduced`].
+    let tol = 1e-6 * scaled.iter().fold(0.0f64, |a, &b| a.max(b.abs())) + 1e-12;
+    let mut ppow: Vec<Complex> = poles.to_vec();
     for (j, &target) in scaled[..2 * q].iter().enumerate() {
-        let mut acc = Complex::ZERO;
-        for (p, k) in poles.iter().zip(residues.iter()) {
-            // µ'_j = −k/p^{j+1}
-            let mut ppow = *p;
-            for _ in 0..j {
-                ppow *= *p;
+        if j > 0 {
+            for (pw, p) in ppow.iter_mut().zip(poles.iter()) {
+                *pw *= *p;
             }
-            acc += *k / ppow;
+        }
+        // µ'_j = −Σ k/p^{j+1}
+        let mut acc = Complex::ZERO;
+        for (pw, k) in ppow.iter().zip(residues.iter()) {
+            acc += *k / *pw;
         }
         let model_mu = -acc.re;
-        let tol = 1e-6 * scaled.iter().fold(0.0f64, |a, &b| a.max(b.abs())) + 1e-12;
         if (model_mu - target).abs() > tol.max(1e-6 * target.abs()) * 10.0 {
             return None;
         }

@@ -1,0 +1,139 @@
+//! The tentpole speedup benchmark: one OBLX cost evaluation of the
+//! Two-Stage amplifier under each evaluator path.
+//!
+//! * `full_rebuild` — the pre-plan baseline: re-parse variable maps,
+//!   rebuild every `SizedCircuit`, restamp and re-solve (what every
+//!   evaluation cost before the precompiled plan existed);
+//! * `plan_full` — plan-based full update (all bindings re-applied into
+//!   preallocated buffers, no `HashMap`/`String` work);
+//! * `incremental_node` — single node-voltage move: dirty-set diffing
+//!   recomputes only the touched device ops, the KCL residual, and the
+//!   jigs that contain the moved node;
+//! * `incremental_geom` — single device-geometry move: one device
+//!   re-evaluated, its jigs re-AWE'd;
+//! * `cached_rescore` — exact state revisit served from a slot.
+//!
+//! Each scenario walks monotonically (`+1 ulp`-scale steps) so no
+//! evaluation after the first ever hits the exact-match cache unless
+//! that is the point of the scenario.
+
+use astrx_oblx::bench_suite;
+use astrx_oblx::cost::CostEvaluator;
+use astrx_oblx::AdaptiveWeights;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let b = bench_suite::by_name("Two-Stage").expect("Two-Stage benchmark exists");
+    let compiled = oblx_bench::compiled(&b);
+    let w = AdaptiveWeights::new(&compiled);
+    let user0 = compiled.initial_user_values();
+    let nodes0 = oblx_bench::newton_nodes(&compiled);
+
+    let mut ev = CostEvaluator::new(&compiled);
+    assert!(ev.has_plan(), "Two-Stage must compile to an eval plan");
+
+    let mut g = c.benchmark_group("cost_eval_incremental");
+
+    // Baseline: what one evaluation cost before the plan existed.
+    {
+        let cold = CostEvaluator::new(&compiled);
+        let (user, nodes) = (user0.clone(), nodes0.clone());
+        g.bench_function("full_rebuild", |bench| {
+            bench.iter(|| {
+                let r = cold.record(&user, &nodes).expect("evaluable");
+                black_box(cold.cost_of_record(&r, &w).expect("scorable").total)
+            })
+        });
+    }
+
+    // Plan-based full update: every user variable moves each step.
+    {
+        let mut user = user0.clone();
+        let nodes = nodes0.clone();
+        let before = ev.stats();
+        g.bench_function("plan_full", |bench| {
+            bench.iter(|| {
+                for v in user.iter_mut() {
+                    *v *= 1.0 + 1e-12;
+                }
+                black_box(ev.evaluate(&user, &nodes, &w).total)
+            })
+        });
+        report_paths("plan_full", ev.stats() - before);
+    }
+
+    // Incremental: one node voltage moves each step.
+    {
+        let user = user0.clone();
+        let mut nodes = nodes0.clone();
+        let before = ev.stats();
+        g.bench_function("incremental_node", |bench| {
+            bench.iter(|| {
+                nodes[0] += 1e-12;
+                black_box(ev.evaluate(&user, &nodes, &w).total)
+            })
+        });
+        report_paths("incremental_node", ev.stats() - before);
+    }
+
+    // Incremental: one device geometry moves each step.
+    {
+        let mut user = user0.clone();
+        let nodes = nodes0.clone();
+        let before = ev.stats();
+        g.bench_function("incremental_geom", |bench| {
+            bench.iter(|| {
+                user[0] *= 1.0 + 1e-12;
+                black_box(ev.evaluate(&user, &nodes, &w).total)
+            })
+        });
+        report_paths("incremental_geom", ev.stats() - before);
+    }
+
+    // Exact revisit: rescore a cached slot.
+    {
+        let (user, nodes) = (user0.clone(), nodes0.clone());
+        ev.evaluate(&user, &nodes, &w);
+        let before = ev.stats();
+        g.bench_function("cached_rescore", |bench| {
+            bench.iter(|| black_box(ev.evaluate(&user, &nodes, &w).total))
+        });
+        report_paths("cached_rescore", ev.stats() - before);
+    }
+    g.finish();
+
+    let median = |name: &str| {
+        c.results()
+            .iter()
+            .find(|(n, _)| n == &format!("cost_eval_incremental/{name}"))
+            .map(|(_, t)| *t)
+            .expect("bench ran")
+    };
+    let full = median("full_rebuild");
+    println!(
+        "\nSpeedup over the pre-plan full rebuild ({:.2} µs/eval):",
+        full * 1e6
+    );
+    for name in [
+        "plan_full",
+        "incremental_node",
+        "incremental_geom",
+        "cached_rescore",
+    ] {
+        let t = median(name);
+        println!("  {name:<18} {:>8.2} µs/eval  {:>6.1}×", t * 1e6, full / t);
+    }
+}
+
+/// Prints which evaluator paths a scenario actually exercised, so a
+/// regression that silently demotes `incremental` to `full` shows up.
+fn report_paths(name: &str, d: astrx_oblx::EvalStats) {
+    println!(
+        "  {name}: {} cold, {} full, {} incremental, {} cached",
+        d.cold, d.full, d.incremental, d.cached
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

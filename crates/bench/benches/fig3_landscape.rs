@@ -56,7 +56,7 @@ fn bench(c: &mut Criterion) {
         })
     });
 
-    let ev = CostEvaluator::new(&compiled);
+    let mut ev = CostEvaluator::new(&compiled);
     let w = AdaptiveWeights::new(&compiled);
     let user = compiled.initial_user_values();
     let nodes = oblx_bench::newton_nodes(&compiled);

@@ -57,7 +57,7 @@ fn bench(c: &mut Criterion) {
     for deck in DECKS {
         let compiled = astrx_oblx::astrx::compile(b.problem_with_deck(deck).expect("parses"))
             .expect("compiles");
-        let ev = CostEvaluator::new(&compiled);
+        let mut ev = CostEvaluator::new(&compiled);
         let w = AdaptiveWeights::new(&compiled);
         let user = compiled.initial_user_values();
         let nodes = oblx_bench::newton_nodes(&compiled);

@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
     println!("Two-Stage 38 ms, Folded Cascode 116 ms, BiCMOS Two-Stage 38 ms\n");
     for b in bench_suite::all() {
         let compiled = oblx_bench::compiled(&b);
-        let ev = CostEvaluator::new(&compiled);
+        let mut ev = CostEvaluator::new(&compiled);
         let w = AdaptiveWeights::new(&compiled);
         let user = compiled.initial_user_values();
         let nodes = oblx_bench::newton_nodes(&compiled);

@@ -42,7 +42,7 @@ fn print_resynthesis() {
 fn bench(c: &mut Criterion) {
     print_resynthesis();
     let compiled = oblx_bench::compiled(&bench_suite::novel_folded_cascode());
-    let ev = CostEvaluator::new(&compiled);
+    let mut ev = CostEvaluator::new(&compiled);
     let w = AdaptiveWeights::new(&compiled);
     let user = compiled.initial_user_values();
     let nodes = oblx_bench::newton_nodes(&compiled);

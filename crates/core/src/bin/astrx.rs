@@ -2,12 +2,17 @@
 //!
 //! ```text
 //! astrx compile <file.ox> [--emit-c]        analyze a description
-//! astrx synth <file.ox> [--moves N] [--seeds a,b,c] [--corners] [--yield]
+//! astrx synth <file.ox> [--moves N] [--seeds N|a,b,c] [--threads T]
+//!                       [--corners] [--yield]
 //! astrx bench <name> [same options]         run a built-in benchmark
 //! astrx list                                list built-in benchmarks
 //! ```
+//!
+//! `--seeds` takes either a count (`--seeds 8` runs seeds 1..=8) or an
+//! explicit comma list (`--seeds 2,7,19`); `--threads` distributes the
+//! per-seed runs over worker threads without changing any result.
 
-use astrx_oblx::oblx::{fixed_cost, synthesize, SynthesisOptions, SynthesisResult};
+use astrx_oblx::oblx::{synthesize_multi, SynthesisOptions};
 use astrx_oblx::report::{eng, pair, TextTable};
 use astrx_oblx::verify::verify_result;
 use astrx_oblx::{bench_suite, corners, CompiledProblem};
@@ -16,8 +21,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  astrx compile <file.ox> [--emit-c]\n  astrx synth <file.ox> \
-         [--moves N] [--seeds a,b,c] [--corners] [--yield]\n  astrx bench <name> [--moves N] \
-         [--seeds a,b,c]\n  astrx list"
+         [--moves N] [--seeds N|a,b,c] [--threads T] [--corners] [--yield]\n  \
+         astrx bench <name> [--moves N] [--seeds N|a,b,c] [--threads T]\n  astrx list"
     );
     ExitCode::from(2)
 }
@@ -133,40 +138,68 @@ fn cmd_synth(rest: &[&String], benchmark: Option<bench_suite::Benchmark>) -> Exi
     let moves: usize = opt(rest, "--moves")
         .and_then(|s| s.parse().ok())
         .unwrap_or(60_000);
-    let seeds: Vec<u64> = opt(rest, "--seeds")
-        .map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect())
-        .unwrap_or_else(|| vec![1, 2, 3]);
-
-    println!("\nOBLX: {} moves × {} seed(s)…", moves, seeds.len());
-    let mut best: Option<(f64, SynthesisResult)> = None;
-    for seed in seeds {
-        let r = match synthesize(
-            &compiled,
-            &SynthesisOptions {
-                moves_budget: moves,
-                seed,
-                ..SynthesisOptions::default()
-            },
-        ) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("seed {seed}: {e}");
-                continue;
+    let seeds: Vec<u64> = match opt(rest, "--seeds") {
+        Some(s) if !s.contains(',') => match s.trim().parse::<u64>() {
+            Ok(n) if n > 0 => (1..=n).collect(),
+            _ => {
+                eprintln!("error: --seeds wants a count or a comma list, got `{s}`");
+                return ExitCode::from(2);
             }
-        };
-        let score = fixed_cost(&compiled, &r.state);
-        println!(
-            "  seed {seed}: cost {:.3}, kcl {:.2e} A, {:.1} s",
-            score, r.kcl_max, r.wall_seconds
-        );
-        if best.as_ref().is_none_or(|(s, _)| score < *s) {
-            best = Some((score, r));
+        },
+        Some(s) => s.split(',').filter_map(|x| x.trim().parse().ok()).collect(),
+        None => vec![1, 2, 3],
+    };
+    if seeds.is_empty() {
+        eprintln!("error: --seeds parsed to an empty list");
+        return ExitCode::from(2);
+    }
+    let threads: usize = opt(rest, "--threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+
+    println!(
+        "\nOBLX: {} moves × {} seed(s) on {} thread(s)…",
+        moves,
+        seeds.len(),
+        threads.max(1).min(seeds.len())
+    );
+    let opts = SynthesisOptions {
+        moves_budget: moves,
+        ..SynthesisOptions::default()
+    };
+    let multi = match synthesize_multi(&compiled, &opts, &seeds, threads) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: every seed failed — first failure: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for run in &multi.runs {
+        if run.failed {
+            println!("  seed {}: failed (best state unevaluable)", run.seed);
+        } else {
+            println!(
+                "  seed {}: cost {:.3}, kcl {:.2e} A, {:.1} s, {:.0} eval/s, \
+                 {:.0}% incremental-or-cached",
+                run.seed,
+                run.fixed_cost,
+                run.kcl_max,
+                run.wall_seconds,
+                run.evals_per_sec,
+                100.0 * run.cache_hit_ratio
+            );
         }
     }
-    let Some((_, result)) = best else {
-        eprintln!("error: every seed failed");
-        return ExitCode::FAILURE;
-    };
+    println!(
+        "best seed {} — {:.1} s wall total, throughput {:.0} evals/s, \
+         {:.0} moves/s, cache hit ratio {:.1}%",
+        multi.best_seed,
+        multi.wall_seconds,
+        multi.best.evals_per_sec,
+        multi.best.moves_per_sec,
+        100.0 * multi.best.cache_hit_ratio
+    );
+    let result = multi.best;
 
     println!("\nDesign variables:");
     for (name, value) in &result.variables {

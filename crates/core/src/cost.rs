@@ -16,10 +16,11 @@
 //! 6. penalize devices out of their required operating region → `C^dev`.
 
 use crate::astrx::{determined_voltages, CompiledProblem, RegionRequirement};
+use crate::plan::{score_slot, EvalPlan, Slot};
 use crate::weights::AdaptiveWeights;
 use oblx_awe::ReducedModel;
 use oblx_devices::{BjtOp, DiodeOp, MosOp, Region};
-use oblx_mna::{LinElement, LinearSystem, SizedCircuit};
+use oblx_mna::{LinElement, LinearSystem, MosInstance, SizedCircuit};
 use oblx_netlist::{builtin_call, EvalContext, EvalError, Expr, Goal, SpecKind};
 use std::collections::HashMap;
 use std::error::Error;
@@ -176,32 +177,13 @@ impl EvalRecord {
     /// `|dc| · |KCL residual at the attached node|` — exact at
     /// dc-correctness, approximate during relaxation.
     pub fn power(&self) -> f64 {
-        let mut p = 0.0;
-        for el in &self.bias.linear {
-            if let LinElement::Vsource {
-                p: np, m: nm, dc, ..
-            } = el
-            {
-                if *dc == 0.0 {
-                    continue;
-                }
-                let i = match (np, nm) {
-                    (Some(i), _) => self.residual[*i].abs(),
-                    (None, Some(i)) => self.residual[*i].abs(),
-                    _ => 0.0,
-                };
-                p += dc.abs() * i;
-            }
-        }
-        p
+        power_of(&self.bias, &self.residual)
     }
 
     /// The built-in `area()` measure: Σ gate areas (m²) plus a fixed
     /// 500 µm² per bipolar device.
     pub fn area(&self) -> f64 {
-        let mos: f64 = self.bias.mosfets.iter().map(|m| m.w * m.l).sum();
-        let bjt: f64 = self.bias.bjts.iter().map(|q| q.area * 500e-12).sum();
-        mos + bjt
+        area_of(&self.bias)
     }
 
     fn device_quantity(&self, device: &str, quantity: &str) -> Option<f64> {
@@ -218,8 +200,94 @@ impl EvalRecord {
     }
 }
 
+/// The AWE-model / power / area surface that measurement functions
+/// draw from — implemented by the cold path's record-backed context
+/// and the plan path's slot-backed context, so the dispatch table in
+/// [`measure_call`] exists exactly once.
+pub(crate) trait MeasureSource {
+    /// Resolves an analysis handle to its reduced model.
+    fn model(&self, handle: &str) -> Option<&ReducedModel>;
+    /// The built-in `power()` measure.
+    fn power(&self) -> f64;
+    /// The built-in `area()` measure.
+    fn area(&self) -> f64;
+}
+
+/// Dispatches the measurement functions goal expressions may call.
+pub(crate) fn measure_call(
+    src: &dyn MeasureSource,
+    name: &str,
+    args: &[Expr],
+    values: &[Option<f64>],
+) -> Result<f64, EvalError> {
+    let model = |k: usize| -> Result<&ReducedModel, EvalError> {
+        let handle = match args.get(k) {
+            Some(Expr::Var(h)) => h,
+            _ => return Err(EvalError::BadArguments(name.to_string())),
+        };
+        src.model(handle)
+            .ok_or_else(|| EvalError::UnknownVar(handle.clone()))
+    };
+    match name {
+        "dc_gain" => Ok(model(0)?.dc_gain()),
+        "dcv" => Ok(model(0)?.dc_value()),
+        "ugf" => Ok(oblx_awe::unity_gain_frequency(model(0)?)),
+        "phase_margin" => Ok(oblx_awe::phase_margin(model(0)?)),
+        "gain_at" => {
+            let f = values
+                .get(1)
+                .copied()
+                .flatten()
+                .ok_or_else(|| EvalError::BadArguments(name.into()))?;
+            Ok(oblx_awe::gain_at(model(0)?, f))
+        }
+        "pole" => {
+            let k = values
+                .get(1)
+                .copied()
+                .flatten()
+                .ok_or_else(|| EvalError::BadArguments(name.into()))?;
+            let p = model(0)?
+                .pole(k as usize)
+                .ok_or_else(|| EvalError::BadArguments(name.into()))?;
+            Ok(p.norm() / (2.0 * std::f64::consts::PI))
+        }
+        "zero" => {
+            let k = values
+                .get(1)
+                .copied()
+                .flatten()
+                .ok_or_else(|| EvalError::BadArguments(name.into()))?;
+            let z = model(0)?
+                .zero(k as usize)
+                .ok_or_else(|| EvalError::BadArguments(name.into()))?;
+            // Signed by half-plane: negative frequency magnitude
+            // flags a RHP zero so specs can forbid it.
+            let f = z.norm() / (2.0 * std::f64::consts::PI);
+            Ok(if z.re > 0.0 { -f } else { f })
+        }
+        "power" => Ok(src.power()),
+        "area" => Ok(src.area()),
+        _ => builtin_call(name, args, values),
+    }
+}
+
 struct SpecContext<'a> {
     record: &'a EvalRecord,
+}
+
+impl MeasureSource for SpecContext<'_> {
+    fn model(&self, handle: &str) -> Option<&ReducedModel> {
+        self.record.models.get(handle)
+    }
+
+    fn power(&self) -> f64 {
+        self.record.power()
+    }
+
+    fn area(&self) -> f64 {
+        self.record.area()
+    }
 }
 
 impl EvalContext for SpecContext<'_> {
@@ -243,88 +311,112 @@ impl EvalContext for SpecContext<'_> {
     }
 
     fn call(&self, name: &str, args: &[Expr], values: &[Option<f64>]) -> Result<f64, EvalError> {
-        let model = |k: usize| -> Result<&ReducedModel, EvalError> {
-            let handle = match args.get(k) {
-                Some(Expr::Var(h)) => h,
-                _ => return Err(EvalError::BadArguments(name.to_string())),
-            };
-            self.record
-                .models
-                .get(handle)
-                .ok_or_else(|| EvalError::UnknownVar(handle.clone()))
-        };
-        match name {
-            "dc_gain" => Ok(model(0)?.dc_gain()),
-            "dcv" => Ok(model(0)?.dc_value()),
-            "ugf" => Ok(oblx_awe::unity_gain_frequency(model(0)?)),
-            "phase_margin" => Ok(oblx_awe::phase_margin(model(0)?)),
-            "gain_at" => {
-                let f = values
-                    .get(1)
-                    .copied()
-                    .flatten()
-                    .ok_or_else(|| EvalError::BadArguments(name.into()))?;
-                Ok(oblx_awe::gain_at(model(0)?, f))
-            }
-            "pole" => {
-                let k = values
-                    .get(1)
-                    .copied()
-                    .flatten()
-                    .ok_or_else(|| EvalError::BadArguments(name.into()))?;
-                let p = model(0)?
-                    .pole(k as usize)
-                    .ok_or_else(|| EvalError::BadArguments(name.into()))?;
-                Ok(p.norm() / (2.0 * std::f64::consts::PI))
-            }
-            "zero" => {
-                let k = values
-                    .get(1)
-                    .copied()
-                    .flatten()
-                    .ok_or_else(|| EvalError::BadArguments(name.into()))?;
-                let z = model(0)?
-                    .zero(k as usize)
-                    .ok_or_else(|| EvalError::BadArguments(name.into()))?;
-                // Signed by half-plane: negative frequency magnitude
-                // flags a RHP zero so specs can forbid it.
-                let f = z.norm() / (2.0 * std::f64::consts::PI);
-                Ok(if z.re > 0.0 { -f } else { f })
-            }
-            "power" => Ok(self.record.power()),
-            "area" => Ok(self.record.area()),
-            _ => builtin_call(name, args, values),
+        measure_call(self, name, args, values)
+    }
+}
+
+/// How the evaluator has serviced its calls — the cache telemetry the
+/// synthesis loop reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Full netlist rebuilds (no plan available).
+    pub cold: u64,
+    /// Plan-based full updates (every binding re-applied, everything
+    /// recomputed — but no string work).
+    pub full: u64,
+    /// Incremental updates (only dirty bindings/devices/jigs redone).
+    pub incremental: u64,
+    /// Exact state matches rescored from a cached slot.
+    pub cached: u64,
+}
+
+impl EvalStats {
+    /// Total evaluator calls.
+    pub fn total(&self) -> u64 {
+        self.cold + self.full + self.incremental + self.cached
+    }
+
+    /// Fraction of calls that avoided a full recomputation (incremental
+    /// or cached); 0 when nothing has been evaluated.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.incremental + self.cached) as f64 / t as f64
+        }
+    }
+}
+
+impl std::ops::Sub for EvalStats {
+    type Output = EvalStats;
+
+    /// Per-path call-count delta between two snapshots of the same
+    /// evaluator (`later - earlier`).
+    fn sub(self, earlier: EvalStats) -> EvalStats {
+        EvalStats {
+            cold: self.cold - earlier.cold,
+            full: self.full - earlier.full,
+            incremental: self.incremental - earlier.incremental,
+            cached: self.cached - earlier.cached,
         }
     }
 }
 
 /// The compiled, executable cost function.
+///
+/// Construction precompiles an evaluation plan (circuit skeletons,
+/// bindings, analysis vectors — see [`crate::plan`]); evaluation then
+/// only writes values into preallocated structures, with no hash-map
+/// construction or string allocation on the hot path. Two recent
+/// configurations are kept as slots so that a proposal differing from
+/// one of them in a few variables is re-evaluated incrementally.
 pub struct CostEvaluator<'a> {
     compiled: &'a CompiledProblem,
     awe_order: usize,
+    /// `None` when the problem cannot be planned (e.g. the initial
+    /// assembly fails); evaluation then uses the cold path, which
+    /// reproduces the underlying error per call.
+    plan: Option<EvalPlan>,
+    slots: Vec<Slot>,
+    clock: u64,
+    stats: EvalStats,
 }
 
 impl<'a> CostEvaluator<'a> {
     /// Wraps a compiled problem.
     pub fn new(compiled: &'a CompiledProblem) -> Self {
-        CostEvaluator {
-            compiled,
-            awe_order: AWE_ORDER,
-        }
+        Self::with_awe_order(compiled, AWE_ORDER)
     }
 
     /// Wraps a compiled problem with a non-default AWE model order
     /// (used by the ablation benches).
     pub fn with_awe_order(compiled: &'a CompiledProblem, awe_order: usize) -> Self {
+        let awe_order = awe_order.clamp(1, 12);
         CostEvaluator {
             compiled,
-            awe_order: awe_order.clamp(1, 12),
+            awe_order,
+            plan: EvalPlan::build(compiled, awe_order),
+            slots: Vec::new(),
+            clock: 0,
+            stats: EvalStats::default(),
         }
     }
 
     /// The compiled problem.
     pub fn compiled(&self) -> &CompiledProblem {
         self.compiled
+    }
+
+    /// Cache/incremental telemetry accumulated so far.
+    pub fn stats(&self) -> EvalStats {
+        self.stats
+    }
+
+    /// `true` when a precompiled plan is active (false only for
+    /// problems whose initial configuration cannot be assembled).
+    pub fn has_plan(&self) -> bool {
+        self.plan.is_some()
     }
 
     /// Computes the full evaluation record for a configuration.
@@ -469,7 +561,7 @@ impl<'a> CostEvaluator<'a> {
     /// Evaluates the scalar cost; structural failures map to the large
     /// [`FAILURE_COST`] so the annealer simply walks away from them.
     pub fn evaluate(
-        &self,
+        &mut self,
         user_values: &[f64],
         node_values: &[f64],
         weights: &AdaptiveWeights,
@@ -482,17 +574,126 @@ impl<'a> CostEvaluator<'a> {
 
     /// Evaluates the scalar cost, surfacing failures.
     ///
+    /// Uses the precompiled plan when available; debug builds
+    /// cross-check every plan-path result against a from-scratch
+    /// evaluation.
+    ///
     /// # Errors
     ///
     /// [`EvalFailure`] as for [`CostEvaluator::record`].
     pub fn try_evaluate(
-        &self,
+        &mut self,
         user_values: &[f64],
         node_values: &[f64],
         weights: &AdaptiveWeights,
     ) -> Result<CostBreakdown, EvalFailure> {
-        let record = self.record(user_values, node_values)?;
-        self.cost_of_record(&record, weights)
+        if self.plan.is_none() {
+            self.stats.cold += 1;
+            let record = self.record(user_values, node_values)?;
+            return self.cost_of_record(&record, weights);
+        }
+        let result = self.plan_evaluate(user_values, node_values, weights);
+        #[cfg(debug_assertions)]
+        self.cross_check(user_values, node_values, weights, &result);
+        result
+    }
+
+    /// The plan path: exact-match rescore, incremental update, or
+    /// plan-full update — in that order of preference.
+    fn plan_evaluate(
+        &mut self,
+        user: &[f64],
+        nodes: &[f64],
+        weights: &AdaptiveWeights,
+    ) -> Result<CostBreakdown, EvalFailure> {
+        let CostEvaluator {
+            compiled,
+            plan,
+            slots,
+            clock,
+            stats,
+            ..
+        } = self;
+        let plan = plan.as_ref().expect("caller checked the plan exists");
+        assert_eq!(user.len(), plan.user_len(), "var vector mismatch");
+        *clock += 1;
+        // Exact state already materialized: rescore it (weights may
+        // have changed since it was computed; the state data has not).
+        if let Some(slot) = slots.iter_mut().find(|s| s.matches(user, nodes)) {
+            slot.stamp = *clock;
+            stats.cached += 1;
+            return score_slot(compiled, plan, slot, weights, user);
+        }
+        // Victim: a failed slot first (nothing in it is reusable),
+        // then grow to the two-slot working set, then the LRU slot —
+        // in the accept/propose rhythm of annealing that is the slot
+        // closest to the proposal's parent state.
+        let vi = if let Some(i) = slots.iter().position(|s| !s.valid()) {
+            i
+        } else if slots.len() < 2 {
+            slots.push(Slot::new(plan));
+            slots.len() - 1
+        } else {
+            slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.stamp)
+                .map(|(i, _)| i)
+                .expect("slots is non-empty")
+        };
+        let slot = &mut slots[vi];
+        slot.stamp = *clock;
+        if slot.can_increment(plan, user, nodes) {
+            stats.incremental += 1;
+            slot.update_incremental(plan, user, nodes)?;
+        } else {
+            stats.full += 1;
+            slot.update_full(plan, user, nodes)?;
+        }
+        score_slot(compiled, plan, slot, weights, user)
+    }
+
+    /// Debug-build invariant: the plan path is bit-compatible with a
+    /// from-scratch evaluation (1e-12 relative tolerance per component;
+    /// in practice the two paths agree exactly).
+    #[cfg(debug_assertions)]
+    fn cross_check(
+        &self,
+        user: &[f64],
+        nodes: &[f64],
+        weights: &AdaptiveWeights,
+        got: &Result<CostBreakdown, EvalFailure>,
+    ) {
+        fn close(a: f64, b: f64) -> bool {
+            a.to_bits() == b.to_bits() || (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1.0)
+        }
+        fn all_close(a: &[f64], b: &[f64]) -> bool {
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| close(*x, *y))
+        }
+        let want = self
+            .record(user, nodes)
+            .and_then(|r| self.cost_of_record(&r, weights));
+        match (got, &want) {
+            (Ok(g), Ok(w)) => {
+                let ok = close(g.c_obj, w.c_obj)
+                    && close(g.c_perf, w.c_perf)
+                    && close(g.c_dev, w.c_dev)
+                    && close(g.c_dc, w.c_dc)
+                    && close(g.total, w.total)
+                    && close(g.kcl_max, w.kcl_max)
+                    && all_close(&g.measured, &w.measured)
+                    && all_close(&g.violation, &w.violation)
+                    && all_close(&g.kcl_violation, &w.kcl_violation)
+                    && g.failed == w.failed;
+                assert!(
+                    ok,
+                    "plan path diverged from full evaluation:\nplan {g:?}\nfull {w:?}"
+                );
+            }
+            (Err(_), Err(_)) => {}
+            (Ok(_), Err(e)) => panic!("plan path succeeded but full evaluation failed: {e}"),
+            (Err(e), Ok(_)) => panic!("plan path failed but full evaluation succeeded: {e}"),
+        }
     }
 
     /// Scores an existing evaluation record.
@@ -505,87 +706,148 @@ impl<'a> CostEvaluator<'a> {
         record: &EvalRecord,
         weights: &AdaptiveWeights,
     ) -> Result<CostBreakdown, EvalFailure> {
-        let compiled = self.compiled;
         let ctx = SpecContext { record };
-
-        let mut c_obj = 0.0;
-        let mut c_perf = 0.0;
-        let mut measured = Vec::with_capacity(compiled.problem.specs.len());
-        let mut violation = Vec::with_capacity(compiled.problem.specs.len());
-        for (gi, goal) in compiled.problem.specs.iter().enumerate() {
-            let value = goal
-                .expr
-                .eval(&ctx)
-                .map_err(|e| EvalFailure::Goal(format!("{}: {e}", goal.name)))?;
-            measured.push(value);
-            let z = normalized(goal, value);
-            match goal.kind {
-                SpecKind::Objective => {
-                    // Objectives keep pulling past `good`, but bounded so
-                    // a single runaway objective cannot drown the rest.
-                    let zc = z.max(-3.0);
-                    violation.push(z);
-                    c_obj += weights.goal(gi) * zc;
-                }
-                SpecKind::Constraint => {
-                    let v = z.clamp(0.0, 100.0);
-                    violation.push(v);
-                    c_perf += weights.goal(gi) * v;
-                }
-            }
-        }
-
-        // C^dev: region penalties over all bias-circuit devices,
-        // honouring `.region` overrides.
-        let mut c_dev = 0.0;
-        for (m, op) in record.bias.mosfets.iter().zip(record.mos_ops.iter()) {
-            let req = compiled
-                .region_reqs
-                .get(&m.name)
-                .copied()
-                .unwrap_or_default();
-            c_dev += weights.device() * mos_region_penalty_for(op, req);
-        }
-        for op in &record.bjt_ops {
-            if !op.forward_active {
-                c_dev += weights.device() * 0.3;
-            }
-        }
-
-        // C^dc: KCL penalties at free nodes.
-        let mut c_dc = 0.0;
-        let mut kcl_max = 0.0f64;
-        let mut kcl_violation = Vec::with_capacity(record.free_nodes.len());
-        for (k, &node) in record.free_nodes.iter().enumerate() {
-            let r = record.residual[node].abs();
-            kcl_max = kcl_max.max(r);
-            let v = if r > KCL_TOL {
-                ((r - KCL_TOL) / KCL_NORM).min(1e6)
-            } else {
-                0.0
-            };
-            kcl_violation.push(v);
-            c_dc += weights.kcl(k) * v;
-        }
-
-        let total = c_obj + c_perf + c_dev + c_dc;
-        Ok(CostBreakdown {
-            c_obj,
-            c_perf,
-            c_dev,
-            c_dc,
-            total: if total.is_finite() {
-                total
-            } else {
-                FAILURE_COST
-            },
-            measured,
-            violation,
-            kcl_violation,
-            kcl_max,
-            failed: false,
-        })
+        score_with(
+            self.compiled,
+            weights,
+            &ctx,
+            &record.bias.mosfets,
+            &record.mos_ops,
+            &record.bjt_ops,
+            &record.free_nodes,
+            &record.residual,
+        )
     }
+}
+
+/// The weighted cost summation shared by the cold path
+/// ([`CostEvaluator::cost_of_record`]) and the plan path. A single
+/// implementation guarantees both paths add the same terms in the same
+/// order, so their totals agree bit for bit.
+///
+/// # Errors
+///
+/// [`EvalFailure::Goal`] when a goal expression fails to evaluate.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn score_with(
+    compiled: &CompiledProblem,
+    weights: &AdaptiveWeights,
+    ctx: &dyn EvalContext,
+    mosfets: &[MosInstance],
+    mos_ops: &[MosOp],
+    bjt_ops: &[BjtOp],
+    free_nodes: &[usize],
+    residual: &[f64],
+) -> Result<CostBreakdown, EvalFailure> {
+    let mut c_obj = 0.0;
+    let mut c_perf = 0.0;
+    let mut measured = Vec::with_capacity(compiled.problem.specs.len());
+    let mut violation = Vec::with_capacity(compiled.problem.specs.len());
+    for (gi, goal) in compiled.problem.specs.iter().enumerate() {
+        let value = goal
+            .expr
+            .eval(ctx)
+            .map_err(|e| EvalFailure::Goal(format!("{}: {e}", goal.name)))?;
+        measured.push(value);
+        let z = normalized(goal, value);
+        match goal.kind {
+            SpecKind::Objective => {
+                // Objectives keep pulling past `good`, but bounded so
+                // a single runaway objective cannot drown the rest.
+                let zc = z.max(-3.0);
+                violation.push(z);
+                c_obj += weights.goal(gi) * zc;
+            }
+            SpecKind::Constraint => {
+                let v = z.clamp(0.0, 100.0);
+                violation.push(v);
+                c_perf += weights.goal(gi) * v;
+            }
+        }
+    }
+
+    // C^dev: region penalties over all bias-circuit devices,
+    // honouring `.region` overrides.
+    let mut c_dev = 0.0;
+    for (m, op) in mosfets.iter().zip(mos_ops.iter()) {
+        let req = compiled
+            .region_reqs
+            .get(&m.name)
+            .copied()
+            .unwrap_or_default();
+        c_dev += weights.device() * mos_region_penalty_for(op, req);
+    }
+    for op in bjt_ops {
+        if !op.forward_active {
+            c_dev += weights.device() * 0.3;
+        }
+    }
+
+    // C^dc: KCL penalties at free nodes.
+    let mut c_dc = 0.0;
+    let mut kcl_max = 0.0f64;
+    let mut kcl_violation = Vec::with_capacity(free_nodes.len());
+    for (k, &node) in free_nodes.iter().enumerate() {
+        let r = residual[node].abs();
+        kcl_max = kcl_max.max(r);
+        let v = if r > KCL_TOL {
+            ((r - KCL_TOL) / KCL_NORM).min(1e6)
+        } else {
+            0.0
+        };
+        kcl_violation.push(v);
+        c_dc += weights.kcl(k) * v;
+    }
+
+    let total = c_obj + c_perf + c_dev + c_dc;
+    Ok(CostBreakdown {
+        c_obj,
+        c_perf,
+        c_dev,
+        c_dc,
+        total: if total.is_finite() {
+            total
+        } else {
+            FAILURE_COST
+        },
+        measured,
+        violation,
+        kcl_violation,
+        kcl_max,
+        failed: false,
+    })
+}
+
+/// The built-in `power()` measure over a bias circuit and its KCL
+/// residual: Σ over dc voltage sources of `|dc| · |residual at the
+/// attached node|`.
+pub(crate) fn power_of(bias: &SizedCircuit, residual: &[f64]) -> f64 {
+    let mut p = 0.0;
+    for el in &bias.linear {
+        if let LinElement::Vsource {
+            p: np, m: nm, dc, ..
+        } = el
+        {
+            if *dc == 0.0 {
+                continue;
+            }
+            let i = match (np, nm) {
+                (Some(i), _) => residual[*i].abs(),
+                (None, Some(i)) => residual[*i].abs(),
+                _ => 0.0,
+            };
+            p += dc.abs() * i;
+        }
+    }
+    p
+}
+
+/// The built-in `area()` measure: Σ gate areas (m²) plus a fixed
+/// 500 µm² per bipolar device.
+pub(crate) fn area_of(bias: &SizedCircuit) -> f64 {
+    let mos: f64 = bias.mosfets.iter().map(|m| m.w * m.l).sum();
+    let bjt: f64 = bias.bjts.iter().map(|q| q.area * 500e-12).sum();
+    mos + bjt
 }
 
 /// The `good`/`bad` normalization of paper §IV.B (after
@@ -689,7 +951,7 @@ mod tests {
     #[test]
     fn relaxed_dc_matches_newton_at_solution() {
         let compiled = setup();
-        let ev = CostEvaluator::new(&compiled);
+        let mut ev = CostEvaluator::new(&compiled);
         let user = compiled.initial_user_values();
         let vars = compiled.var_map(&user);
         let bias = SizedCircuit::build(&compiled.bias_netlist, &vars, &compiled.lib).unwrap();
@@ -723,7 +985,7 @@ mod tests {
     #[test]
     fn measured_values_are_physical() {
         let compiled = setup();
-        let ev = CostEvaluator::new(&compiled);
+        let mut ev = CostEvaluator::new(&compiled);
         let user = compiled.initial_user_values();
         // Start from the Newton point so the AWE models are meaningful.
         let vars = compiled.var_map(&user);
@@ -765,7 +1027,7 @@ mod tests {
     #[test]
     fn failure_cost_for_unevaluable_geometry() {
         let compiled = setup();
-        let ev = CostEvaluator::new(&compiled);
+        let mut ev = CostEvaluator::new(&compiled);
         let w = AdaptiveWeights::new(&compiled);
         // NaN geometry → assembly failure → failure cost.
         let mut user = compiled.initial_user_values();
@@ -778,7 +1040,7 @@ mod tests {
     #[test]
     fn region_penalty_shape() {
         let compiled = setup();
-        let ev = CostEvaluator::new(&compiled);
+        let mut ev = CostEvaluator::new(&compiled);
         let user = compiled.initial_user_values();
         let w = AdaptiveWeights::new(&compiled);
         // All node voltages at 0: transistors cut off → c_dev positive.

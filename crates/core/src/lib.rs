@@ -52,6 +52,7 @@ pub mod corners;
 pub mod cost;
 pub mod emit;
 pub mod oblx;
+mod plan;
 pub mod report;
 pub mod verify;
 mod weights;
@@ -59,8 +60,11 @@ pub mod yield_mc;
 
 pub use astrx::{compile, compile_source, CompileError, CompileStats, CompiledProblem};
 pub use corners::{standard_corners, verify_corners, Corner, CornerResult};
-pub use cost::{CostBreakdown, CostEvaluator, EvalFailure};
-pub use oblx::{synthesize, OblxProblem, SynthesisOptions, SynthesisResult};
+pub use cost::{CostBreakdown, CostEvaluator, EvalFailure, EvalStats};
+pub use oblx::{
+    synthesize, synthesize_multi, MultiSynthesisResult, OblxProblem, SeedRunStats,
+    SynthesisOptions, SynthesisResult,
+};
 pub use verify::{verify_design, verify_design_with, VerifiedDesign};
 pub use weights::AdaptiveWeights;
 pub use yield_mc::{yield_mc, YieldOptions, YieldResult};

@@ -10,12 +10,14 @@
 use crate::astrx::{determined_voltages, CompiledProblem};
 use crate::cost::{CostBreakdown, CostEvaluator};
 use crate::weights::AdaptiveWeights;
-use oblx_anneal::{AnnealOptions, AnnealProblem, Annealer, Trace};
+use oblx_anneal::{AnnealOptions, AnnealProblem, Annealer, DirtySet, Trace};
 use oblx_linalg::{Lu, Mat};
 use oblx_mna::{dc::linearize_at, SizedCircuit};
 use oblx_netlist::VarScale;
 use rand::{Rng, RngExt};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Synthesis run options.
@@ -95,6 +97,14 @@ pub struct SynthesisResult {
     /// Mean milliseconds per circuit evaluation — Table 2's
     /// "time/ckt. eval" row.
     pub ms_per_eval: f64,
+    /// Cost evaluations per wall-clock second.
+    pub evals_per_sec: f64,
+    /// Annealing proposals per wall-clock second.
+    pub moves_per_sec: f64,
+    /// Fraction of evaluations served without a full plan update
+    /// (incremental re-evaluations plus exact-state cache hits). Zero
+    /// when the evaluator runs without a precompiled plan.
+    pub cache_hit_ratio: f64,
 }
 
 impl SynthesisResult {
@@ -321,23 +331,40 @@ impl AnnealProblem for OblxProblem<'_> {
         scale: f64,
         rng: &mut dyn Rng,
     ) -> Option<OblxState> {
+        self.propose_dirty(state, class, scale, rng).map(|(s, _)| s)
+    }
+
+    /// Proposes a move together with the set of variables it touched.
+    /// The dirty set is a *superset* declaration: every variable whose
+    /// value may differ from `state` is listed (validated in debug
+    /// builds), which is what lets an incremental evaluator skip
+    /// untouched devices and jigs downstream.
+    fn propose_dirty(
+        &mut self,
+        state: &OblxState,
+        class: usize,
+        scale: f64,
+        rng: &mut dyn Rng,
+    ) -> Option<(OblxState, DirtySet)> {
         let nu = state.user.len();
         let nn = state.nodes.len();
-        match class {
+        let proposed = match class {
             move_class::USER_SINGLE if nu > 0 => {
                 let i = (rng.next_u64() as usize) % nu;
                 let mut next = state.clone();
                 next.user[i] = self.perturb_user(state, i, scale, rng);
-                Some(next)
+                Some((next, DirtySet::of(vec![i], Vec::new())))
             }
             move_class::USER_MULTI if nu > 1 => {
                 let mut next = state.clone();
                 let count = 2 + (rng.next_u64() as usize) % nu.min(3);
+                let mut touched = Vec::with_capacity(count);
                 for _ in 0..count {
                     let i = (rng.next_u64() as usize) % nu;
                     next.user[i] = self.perturb_user(&next, i, scale * 0.5, rng);
+                    touched.push(i);
                 }
-                Some(next)
+                Some((next, DirtySet::of(touched, Vec::new())))
             }
             move_class::NODE_SINGLE if nn > 0 => {
                 let k = (rng.next_u64() as usize) % nn;
@@ -345,7 +372,7 @@ impl AnnealProblem for OblxProblem<'_> {
                 let r = rng.random::<f64>() * 2.0 - 1.0;
                 next.nodes[k] = (next.nodes[k] + r * scale * 0.5 * (self.node_hi - self.node_lo))
                     .clamp(self.node_lo, self.node_hi);
-                Some(next)
+                Some((next, DirtySet::of(Vec::new(), vec![k])))
             }
             move_class::NODE_ALL if nn > 0 => {
                 let mut next = state.clone();
@@ -354,14 +381,14 @@ impl AnnealProblem for OblxProblem<'_> {
                     *v = (*v + r * scale * 0.1 * (self.node_hi - self.node_lo))
                         .clamp(self.node_lo, self.node_hi);
                 }
-                Some(next)
+                Some((next, DirtySet::of(Vec::new(), (0..nn).collect())))
             }
-            move_class::NEWTON_FULL if nn > 0 && !self.opts.disable_newton_moves => {
-                self.newton_move(state, 1.0)
-            }
-            move_class::NEWTON_PARTIAL if nn > 0 && !self.opts.disable_newton_moves => {
-                self.newton_move(state, 0.3)
-            }
+            move_class::NEWTON_FULL if nn > 0 && !self.opts.disable_newton_moves => self
+                .newton_move(state, 1.0)
+                .map(|s| (s, DirtySet::of(Vec::new(), (0..nn).collect()))),
+            move_class::NEWTON_PARTIAL if nn > 0 && !self.opts.disable_newton_moves => self
+                .newton_move(state, 0.3)
+                .map(|s| (s, DirtySet::of(Vec::new(), (0..nn).collect()))),
             move_class::USER_WITH_NEWTON if nu > 0 && nn > 0 && !self.opts.disable_newton_moves => {
                 let i = (rng.next_u64() as usize) % nu;
                 let mut next = state.clone();
@@ -372,10 +399,15 @@ impl AnnealProblem for OblxProblem<'_> {
                 if let Some(again) = self.newton_move(&corrected, 1.0) {
                     corrected.nodes = again.nodes;
                 }
-                Some(corrected)
+                Some((corrected, DirtySet::of(vec![i], (0..nn).collect())))
             }
             _ => None,
+        };
+        #[cfg(debug_assertions)]
+        if let Some((next, dirty)) = &proposed {
+            validate_dirty(state, next, dirty);
         }
+        proposed
     }
 
     fn telemetry_names(&self) -> Vec<String> {
@@ -392,6 +424,27 @@ impl AnnealProblem for OblxProblem<'_> {
             .evaluator
             .evaluate(&state.user, &state.nodes, &self.weights);
         vec![b.kcl_max, b.c_dc, b.c_perf, b.c_obj]
+    }
+}
+
+/// Debug check of the dirty-set contract: every variable whose value
+/// differs (bitwise) between `state` and `next` must be declared.
+#[cfg(debug_assertions)]
+fn validate_dirty(state: &OblxState, next: &OblxState, dirty: &DirtySet) {
+    if dirty.all {
+        return;
+    }
+    for (i, (a, b)) in state.user.iter().zip(next.user.iter()).enumerate() {
+        assert!(
+            a.to_bits() == b.to_bits() || dirty.primary_dirty(i),
+            "move changed user var {i} without declaring it dirty"
+        );
+    }
+    for (k, (a, b)) in state.nodes.iter().zip(next.nodes.iter()).enumerate() {
+        assert!(
+            a.to_bits() == b.to_bits() || dirty.aux_dirty(k),
+            "move changed node voltage {k} without declaring it dirty"
+        );
     }
 }
 
@@ -418,6 +471,7 @@ pub fn synthesize(
     let result = annealer.run(&mut problem);
     let wall = start.elapsed().as_secs_f64();
     let evaluations = problem.evaluations();
+    let stats = problem.evaluator.stats();
 
     // Final scoring with the final weights, surfacing any failure.
     let record = problem
@@ -457,7 +511,164 @@ pub fn synthesize(
         } else {
             0.0
         },
+        evals_per_sec: if wall > 0.0 {
+            evaluations as f64 / wall
+        } else {
+            0.0
+        },
+        moves_per_sec: if wall > 0.0 {
+            result.attempted as f64 / wall
+        } else {
+            0.0
+        },
+        cache_hit_ratio: stats.cache_hit_ratio(),
     })
+}
+
+/// Per-seed summary from [`synthesize_multi`].
+#[derive(Debug, Clone)]
+pub struct SeedRunStats {
+    /// The RNG seed of the run.
+    pub seed: u64,
+    /// Frozen-final-weight cost of the run's best state (the
+    /// cross-run commensurable score); `+inf` if the run failed.
+    pub fixed_cost: f64,
+    /// Best annealing cost the run reported (`NaN` if it failed).
+    pub best_cost: f64,
+    /// Worst KCL residual at the run's best state (`NaN` if failed).
+    pub kcl_max: f64,
+    /// Cost evaluations spent by the run.
+    pub evaluations: usize,
+    /// Wall-clock seconds of the run.
+    pub wall_seconds: f64,
+    /// Cost evaluations per second of the run.
+    pub evals_per_sec: f64,
+    /// Fraction of evaluations served incrementally or from cache.
+    pub cache_hit_ratio: f64,
+    /// Whether the run failed (its best state was unevaluable).
+    pub failed: bool,
+}
+
+/// Result of a multi-seed synthesis.
+#[derive(Debug, Clone)]
+pub struct MultiSynthesisResult {
+    /// The winning run's full result.
+    pub best: SynthesisResult,
+    /// The seed that produced [`MultiSynthesisResult::best`].
+    pub best_seed: u64,
+    /// Per-seed statistics, in the order the seeds were given.
+    pub runs: Vec<SeedRunStats>,
+    /// Wall-clock seconds for the whole multi-seed run.
+    pub wall_seconds: f64,
+    /// Worker threads actually used.
+    pub threads: usize,
+}
+
+/// Runs [`synthesize`] once per seed, distributing the runs over up to
+/// `threads` worker threads, and returns the best result under the
+/// frozen end-of-run weights — the paper's best-of-several-overnight-
+/// runs protocol, parallelized.
+///
+/// Each per-seed run is completely independent (its own evaluator,
+/// weights and RNG), so the outcome is bit-identical for any thread
+/// count; ties on `fixed_cost` break toward the earlier seed in
+/// `seeds`.
+///
+/// # Panics
+///
+/// If `seeds` is empty.
+///
+/// # Errors
+///
+/// The first failing seed's [`crate::cost::EvalFailure`] if *every*
+/// seed fails.
+pub fn synthesize_multi(
+    compiled: &CompiledProblem,
+    opts: &SynthesisOptions,
+    seeds: &[u64],
+    threads: usize,
+) -> Result<MultiSynthesisResult, crate::cost::EvalFailure> {
+    assert!(
+        !seeds.is_empty(),
+        "synthesize_multi needs at least one seed"
+    );
+    let start = Instant::now();
+    let workers = threads.max(1).min(seeds.len());
+    type SeedOutcome = Result<SynthesisResult, crate::cost::EvalFailure>;
+    let slots: Vec<Mutex<Option<SeedOutcome>>> = seeds.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= seeds.len() {
+                    break;
+                }
+                let run_opts = SynthesisOptions {
+                    seed: seeds[i],
+                    ..opts.clone()
+                };
+                let outcome = synthesize(compiled, &run_opts);
+                *slots[i].lock().unwrap() = Some(outcome);
+            });
+        }
+    });
+
+    let mut runs = Vec::with_capacity(seeds.len());
+    let mut best: Option<(f64, usize, SynthesisResult)> = None;
+    let mut first_err = None;
+    for (i, (&seed, slot)) in seeds.iter().zip(slots).enumerate() {
+        let outcome = slot
+            .into_inner()
+            .unwrap()
+            .expect("worker pool covered every seed");
+        match outcome {
+            Ok(r) => {
+                let fc = fixed_cost(compiled, &r.state);
+                runs.push(SeedRunStats {
+                    seed,
+                    fixed_cost: fc,
+                    best_cost: r.best_cost,
+                    kcl_max: r.kcl_max,
+                    evaluations: r.evaluations,
+                    wall_seconds: r.wall_seconds,
+                    evals_per_sec: r.evals_per_sec,
+                    cache_hit_ratio: r.cache_hit_ratio,
+                    failed: false,
+                });
+                let key = if fc.is_nan() { f64::INFINITY } else { fc };
+                if best.as_ref().is_none_or(|(bk, _, _)| key < *bk) {
+                    best = Some((key, i, r));
+                }
+            }
+            Err(e) => {
+                runs.push(SeedRunStats {
+                    seed,
+                    fixed_cost: f64::INFINITY,
+                    best_cost: f64::NAN,
+                    kcl_max: f64::NAN,
+                    evaluations: 0,
+                    wall_seconds: 0.0,
+                    evals_per_sec: 0.0,
+                    cache_hit_ratio: 0.0,
+                    failed: true,
+                });
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    match best {
+        Some((_, i, r)) => Ok(MultiSynthesisResult {
+            best: r,
+            best_seed: seeds[i],
+            runs,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            threads: workers,
+        }),
+        None => Err(first_err.expect("no best implies at least one error")),
+    }
 }
 
 /// The user-variable assignment of a state, as a map.
@@ -470,7 +681,7 @@ pub fn state_vars(compiled: &CompiledProblem, state: &OblxState) -> HashMap<Stri
 /// comparing results across independent annealing runs, as in the
 /// paper's best-of-several-overnight-runs protocol.
 pub fn fixed_cost(compiled: &CompiledProblem, state: &OblxState) -> f64 {
-    let ev = CostEvaluator::new(compiled);
+    let mut ev = CostEvaluator::new(compiled);
     let w = AdaptiveWeights::frozen_final(compiled);
     ev.evaluate(&state.user, &state.nodes, &w).total
 }
@@ -567,10 +778,52 @@ mod tests {
         assert!(result.trace.series("kcl_max").is_some());
         assert!(result.evaluations > 1000);
         assert!(result.ms_per_eval > 0.0);
+        // Throughput telemetry is populated, and the precompiled plan
+        // served a nonzero share of evaluations without full updates.
+        assert!(result.evals_per_sec > 0.0);
+        assert!(result.moves_per_sec > 0.0);
+        assert!(
+            result.cache_hit_ratio > 0.0 && result.cache_hit_ratio <= 1.0,
+            "cache hit ratio = {}",
+            result.cache_hit_ratio
+        );
         // Variables within their declared ranges.
         for (decl, (_, v)) in c.user_vars.iter().zip(result.variables.iter()) {
             assert!(*v >= decl.min && *v <= decl.max);
         }
+    }
+
+    #[test]
+    fn multi_seed_is_thread_invariant_and_picks_best() {
+        let c = compiled();
+        let opts = SynthesisOptions {
+            moves_budget: 600,
+            quench_patience: 100,
+            ..SynthesisOptions::default()
+        };
+        let seeds = [3u64, 5, 9];
+        let seq = synthesize_multi(&c, &opts, &seeds, 1).unwrap();
+        let par = synthesize_multi(&c, &opts, &seeds, 3).unwrap();
+        assert_eq!(seq.threads, 1);
+        assert_eq!(par.threads, 3);
+        // Identical outcome regardless of thread count.
+        assert_eq!(seq.best_seed, par.best_seed);
+        assert_eq!(seq.best.best_cost.to_bits(), par.best.best_cost.to_bits());
+        assert_eq!(seq.best.state, par.best.state);
+        assert_eq!(seq.runs.len(), seeds.len());
+        for (a, b) in seq.runs.iter().zip(par.runs.iter()) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.fixed_cost.to_bits(), b.fixed_cost.to_bits());
+            assert!(!a.failed && !b.failed);
+        }
+        // The winner carries the minimum frozen-final cost.
+        let min = seq
+            .runs
+            .iter()
+            .map(|r| r.fixed_cost)
+            .fold(f64::INFINITY, f64::min);
+        let winner = seq.runs.iter().find(|r| r.seed == seq.best_seed).unwrap();
+        assert_eq!(winner.fixed_cost.to_bits(), min.to_bits());
     }
 
     #[test]

@@ -119,29 +119,45 @@ impl<T: Scalar> Lu<T> {
     /// # Panics
     ///
     /// Panics if `b.len() != self.dim()`.
-    // Triangular solves index by position on purpose.
-    #[allow(clippy::needless_range_loop)]
     pub fn solve(&self, b: &[T]) -> Vec<T> {
+        let mut x = Vec::with_capacity(self.dim());
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// [`Lu::solve`] into a caller-owned buffer (cleared and refilled),
+    /// so repeated solves against one factorization — the AWE moment
+    /// recurrence performs `2q` of them — reuse a single allocation.
+    /// The summation order is exactly the historical per-element loop's
+    /// (ascending column index), walked over contiguous row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve_into(&self, b: &[T], x: &mut Vec<T>) {
         let n = self.dim();
         assert_eq!(b.len(), n, "rhs dimension mismatch");
-        let mut x: Vec<T> = self.perm.iter().map(|&p| b[p]).collect();
+        x.clear();
+        x.extend(self.perm.iter().map(|&p| b[p]));
+        let lud = self.lu.as_slice();
         // Forward substitution with unit-diagonal L.
         for r in 1..n {
+            let row = &lud[r * n..r * n + r];
             let mut acc = x[r];
-            for c in 0..r {
-                acc = acc - self.lu.get(r, c) * x[c];
+            for (l, xc) in row.iter().zip(x.iter()) {
+                acc = acc - *l * *xc;
             }
             x[r] = acc;
         }
         // Back substitution with U.
         for r in (0..n).rev() {
+            let row = &lud[r * n..(r + 1) * n];
             let mut acc = x[r];
-            for c in (r + 1)..n {
-                acc = acc - self.lu.get(r, c) * x[c];
+            for (u, xc) in row[r + 1..].iter().zip(x[r + 1..].iter()) {
+                acc = acc - *u * *xc;
             }
-            x[r] = acc / self.lu.get(r, r);
+            x[r] = acc / row[r];
         }
-        x
     }
 
     /// Solves `Aᵀ·x = b`, used for adjoint (transfer-function) analyses.
@@ -149,33 +165,55 @@ impl<T: Scalar> Lu<T> {
     /// # Panics
     ///
     /// Panics if `b.len() != self.dim()`.
-    #[allow(clippy::needless_range_loop)]
     pub fn solve_transpose(&self, b: &[T]) -> Vec<T> {
+        let mut x = Vec::with_capacity(self.dim());
+        let mut scratch = Vec::with_capacity(self.dim());
+        self.solve_transpose_into(b, &mut x, &mut scratch);
+        x
+    }
+
+    /// [`Lu::solve_transpose`] into a caller-owned buffer with a
+    /// caller-owned scratch vector, so the adjoint moment recurrence
+    /// reuses two allocations across its `2q` solves. The triangular
+    /// passes run in saxpy (row-access) form: once an unknown is final,
+    /// its contribution is subtracted from every remaining entry using
+    /// one contiguous row of the factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve_transpose_into(&self, b: &[T], x: &mut Vec<T>, scratch: &mut Vec<T>) {
         let n = self.dim();
         assert_eq!(b.len(), n, "rhs dimension mismatch");
-        let mut y = b.to_vec();
+        scratch.clear();
+        scratch.extend_from_slice(b);
+        let y = &mut scratch[..];
+        let lud = self.lu.as_slice();
         // Solve Uᵀ·z = b (forward, since Uᵀ is lower-triangular).
         for r in 0..n {
-            let mut acc = y[r];
-            for c in 0..r {
-                acc = acc - self.lu.get(c, r) * y[c];
+            let (head, tail) = y.split_at_mut(r + 1);
+            let yr = head[r] / lud[r * n + r];
+            head[r] = yr;
+            let row = &lud[r * n + r + 1..(r + 1) * n];
+            for (t, u) in tail.iter_mut().zip(row.iter()) {
+                *t = *t - *u * yr;
             }
-            y[r] = acc / self.lu.get(r, r);
         }
         // Solve Lᵀ·w = z (backward, Lᵀ upper-triangular with unit diag).
-        for r in (0..n).rev() {
-            let mut acc = y[r];
-            for c in (r + 1)..n {
-                acc = acc - self.lu.get(c, r) * y[c];
+        for r in (1..n).rev() {
+            let (head, tail) = y.split_at_mut(r);
+            let yr = tail[0];
+            let row = &lud[r * n..r * n + r];
+            for (t, l) in head.iter_mut().zip(row.iter()) {
+                *t = *t - *l * yr;
             }
-            y[r] = acc;
         }
         // Undo the row permutation: x[perm[i]] = w[i].
-        let mut x = vec![T::ZERO; n];
+        x.clear();
+        x.resize(n, T::ZERO);
         for (i, &p) in self.perm.iter().enumerate() {
             x[p] = y[i];
         }
-        x
     }
 
     /// The determinant of the original matrix.

@@ -167,10 +167,23 @@ impl<T: Scalar> Mat<T> {
     /// # Panics
     ///
     /// Panics if `x.len() != self.cols()`.
-    #[allow(clippy::needless_range_loop)] // row-slice walk, indexed on purpose
     pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
+        let mut y = Vec::new();
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix–vector product `A·x` into a caller-owned buffer (resized
+    /// to `self.rows()`), so repeated products reuse one allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    #[allow(clippy::needless_range_loop)] // row-slice walk, indexed on purpose
+    pub fn mul_vec_into(&self, x: &[T], y: &mut Vec<T>) {
         assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
-        let mut y = vec![T::ZERO; self.rows];
+        y.clear();
+        y.resize(self.rows, T::ZERO);
         for r in 0..self.rows {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             let mut acc = T::ZERO;
@@ -179,7 +192,6 @@ impl<T: Scalar> Mat<T> {
             }
             y[r] = acc;
         }
-        y
     }
 
     /// Matrix–matrix product `A·B`.

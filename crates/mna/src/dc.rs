@@ -498,9 +498,11 @@ mod tests {
             let n = 2 + (next() * 6.0) as usize;
             let vs = 1.0 + 9.0 * next();
             let rs: Vec<f64> = (0..n).map(|_| 100.0 + 9900.0 * next()).collect();
-            let mut src = format!(".jig j
+            let mut src = format!(
+                ".jig j
 v1 n0 0 {vs}
-");
+"
+            );
             for (i, r) in rs.iter().enumerate() {
                 let a = format!("n{i}");
                 let b = if i + 1 == n {
@@ -508,11 +510,15 @@ v1 n0 0 {vs}
                 } else {
                     format!("n{}", i + 1)
                 };
-                src.push_str(&format!("r{i} {a} {b} {r}
-"));
+                src.push_str(&format!(
+                    "r{i} {a} {b} {r}
+"
+                ));
             }
-            src.push_str(".endjig
-");
+            src.push_str(
+                ".endjig
+",
+            );
             let ckt = build(&src, None);
             let op = solve_dc(&ckt).unwrap();
             let total: f64 = rs.iter().sum();

@@ -95,19 +95,10 @@ impl LinearSystem {
         bjt_ops: &[BjtOp],
         diode_ops: &[DiodeOp],
     ) -> LinearSystem {
-        assert_eq!(mos_ops.len(), circuit.mosfets.len(), "mos op mismatch");
-        assert_eq!(bjt_ops.len(), circuit.bjts.len(), "bjt op mismatch");
-        assert_eq!(diode_ops.len(), circuit.diodes.len(), "diode op mismatch");
         let n = circuit.nodes.len();
         let dim = circuit.dim();
-        let mut g = Mat::zeros(dim, dim);
-        let mut c = Mat::zeros(dim, dim);
-        let mut rhs_scratch = vec![0.0; dim];
         let mut sources = HashMap::new();
-
         for (el, name) in circuit.linear.iter().zip(circuit.linear_names.iter()) {
-            el.stamp_dc(&mut g, &mut rhs_scratch, n, 0.0);
-            el.stamp_ac(&mut c, n);
             match *el {
                 LinElement::Vsource { branch, .. } => {
                     sources.insert(name.clone(), SourceRef::V { branch });
@@ -118,53 +109,92 @@ impl LinearSystem {
                 _ => {}
             }
         }
-
-        const GMIN: f64 = 1e-12;
-        for (m, mop) in circuit.mosfets.iter().zip(mos_ops.iter()) {
-            stamp_vccs(&mut g, m.d, m.s, m.g, m.s, mop.gm);
-            stamp_conductance(&mut g, m.d, m.s, mop.gds);
-            stamp_vccs(&mut g, m.d, m.s, m.b, m.s, mop.gmbs);
-            stamp_conductance(&mut c, m.g, m.s, mop.caps.cgs);
-            stamp_conductance(&mut c, m.g, m.d, mop.caps.cgd);
-            stamp_conductance(&mut c, m.g, m.b, mop.caps.cgb);
-            stamp_conductance(&mut c, m.b, m.d, mop.caps.cbd);
-            stamp_conductance(&mut c, m.b, m.s, mop.caps.cbs);
-            for node in [m.d, m.g, m.s, m.b] {
-                stamp(&mut g, node, node, GMIN);
-            }
-        }
-        for (q, qop) in circuit.bjts.iter().zip(bjt_ops.iter()) {
-            stamp_vccs(&mut g, q.c, q.e, q.b, q.e, qop.gm_be);
-            stamp_conductance(&mut g, q.c, q.e, qop.go);
-            stamp_conductance(&mut g, q.b, q.e, qop.gpi);
-            // gmu: ∂ib/∂vce VCCS into the base.
-            stamp_vccs(&mut g, q.b, q.e, q.c, q.e, qop.gmu);
-            stamp_conductance(&mut c, q.b, q.e, qop.cpi);
-            stamp_conductance(&mut c, q.b, q.c, qop.cmu);
-            for node in [q.c, q.b, q.e] {
-                stamp(&mut g, node, node, GMIN);
-            }
-        }
-
-        for (d, dop) in circuit.diodes.iter().zip(diode_ops.iter()) {
-            stamp_conductance(&mut g, d.a, d.k, dop.gd);
-            stamp_conductance(&mut c, d.a, d.k, dop.cd);
-            for node in [d.a, d.k] {
-                stamp(&mut g, node, node, GMIN);
-            }
-        }
-
         let node_index = circuit
             .nodes
             .iter()
             .map(|(i, s)| (s.to_string(), i))
             .collect();
-        LinearSystem {
-            g,
-            c,
+        let mut sys = LinearSystem {
+            g: Mat::zeros(dim, dim),
+            c: Mat::zeros(dim, dim),
             n_nodes: n,
             sources,
             node_index,
+        };
+        sys.restamp(circuit, mos_ops, bjt_ops, diode_ops);
+        sys
+    }
+
+    /// Re-stamps `G`/`C` in place from the circuit and fresh device
+    /// operating points, reusing the matrix allocations. The circuit
+    /// must have the same structure (nodes, branches, device lists) the
+    /// system was built from; source and node name tables are untouched.
+    ///
+    /// This is the hot path of incremental cost evaluation: a jig whose
+    /// device operating points changed is re-stamped and re-analyzed
+    /// without rebuilding name maps or reallocating matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the op slices or circuit dimensions do not match.
+    pub fn restamp(
+        &mut self,
+        circuit: &SizedCircuit,
+        mos_ops: &[MosOp],
+        bjt_ops: &[BjtOp],
+        diode_ops: &[DiodeOp],
+    ) {
+        assert_eq!(mos_ops.len(), circuit.mosfets.len(), "mos op mismatch");
+        assert_eq!(bjt_ops.len(), circuit.bjts.len(), "bjt op mismatch");
+        assert_eq!(diode_ops.len(), circuit.diodes.len(), "diode op mismatch");
+        let n = circuit.nodes.len();
+        let dim = circuit.dim();
+        assert_eq!(n, self.n_nodes, "node count mismatch in restamp");
+        assert_eq!(dim, self.g.rows(), "dimension mismatch in restamp");
+        let g = &mut self.g;
+        let c = &mut self.c;
+        g.clear();
+        c.clear();
+        let mut rhs_scratch = vec![0.0; dim];
+
+        for el in circuit.linear.iter() {
+            el.stamp_dc(g, &mut rhs_scratch, n, 0.0);
+            el.stamp_ac(c, n);
+        }
+
+        const GMIN: f64 = 1e-12;
+        for (m, mop) in circuit.mosfets.iter().zip(mos_ops.iter()) {
+            stamp_vccs(g, m.d, m.s, m.g, m.s, mop.gm);
+            stamp_conductance(g, m.d, m.s, mop.gds);
+            stamp_vccs(g, m.d, m.s, m.b, m.s, mop.gmbs);
+            stamp_conductance(c, m.g, m.s, mop.caps.cgs);
+            stamp_conductance(c, m.g, m.d, mop.caps.cgd);
+            stamp_conductance(c, m.g, m.b, mop.caps.cgb);
+            stamp_conductance(c, m.b, m.d, mop.caps.cbd);
+            stamp_conductance(c, m.b, m.s, mop.caps.cbs);
+            for node in [m.d, m.g, m.s, m.b] {
+                stamp(g, node, node, GMIN);
+            }
+        }
+        for (q, qop) in circuit.bjts.iter().zip(bjt_ops.iter()) {
+            stamp_vccs(g, q.c, q.e, q.b, q.e, qop.gm_be);
+            stamp_conductance(g, q.c, q.e, qop.go);
+            stamp_conductance(g, q.b, q.e, qop.gpi);
+            // gmu: ∂ib/∂vce VCCS into the base.
+            stamp_vccs(g, q.b, q.e, q.c, q.e, qop.gmu);
+            stamp_conductance(c, q.b, q.e, qop.cpi);
+            stamp_conductance(c, q.b, q.c, qop.cmu);
+            for node in [q.c, q.b, q.e] {
+                stamp(g, node, node, GMIN);
+            }
+        }
+
+        for (d, dop) in circuit.diodes.iter().zip(diode_ops.iter()) {
+            stamp_conductance(g, d.a, d.k, dop.gd);
+            stamp_conductance(c, d.a, d.k, dop.cd);
+            for node in [d.a, d.k] {
+                stamp(g, node, node, GMIN);
+            }
         }
     }
 

@@ -59,7 +59,7 @@ proptest! {
     fn prop_cost_total_over_design_space(seed in 0u64..1000) {
         let b = bench_suite::simple_ota();
         let c = astrx_oblx::astrx::compile(b.problem().expect("parses")).expect("compiles");
-        let ev = CostEvaluator::new(&c);
+        let mut ev = CostEvaluator::new(&c);
         let w = AdaptiveWeights::new(&c);
 
         // Deterministic pseudo-random point from the seed.
@@ -96,7 +96,7 @@ proptest! {
     fn prop_kcl_penalty_grows_with_displacement(step in 1usize..8) {
         let b = bench_suite::simple_ota();
         let c = astrx_oblx::astrx::compile(b.problem().expect("parses")).expect("compiles");
-        let ev = CostEvaluator::new(&c);
+        let mut ev = CostEvaluator::new(&c);
         let w = AdaptiveWeights::new(&c);
         let user = c.initial_user_values();
 

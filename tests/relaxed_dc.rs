@@ -22,7 +22,7 @@ fn compiled(name: &str) -> CompiledProblem {
 fn kcl_terms_vanish_exactly_at_newton_solution() {
     for name in ["Simple OTA", "OTA", "Two-Stage", "BiCMOS Two-Stage"] {
         let c = compiled(name);
-        let ev = CostEvaluator::new(&c);
+        let mut ev = CostEvaluator::new(&c);
         let user = c.initial_user_values();
         let vars = c.var_map(&user);
         let bias = SizedCircuit::build(&c.bias_netlist, &vars, &c.lib).expect("builds");
@@ -71,7 +71,7 @@ fn newton_moves_converge_bias_for_benchmarks() {
         let c = compiled(name);
         let mut p = OblxProblem::new(&c, SynthesisOptions::default());
         let mut state = p.initial_state();
-        let ev = CostEvaluator::new(&c);
+        let mut ev = CostEvaluator::new(&c);
         let w = AdaptiveWeights::new(&c);
         let mut kcl = f64::INFINITY;
         // Alternate full Newton jumps (class 4) as the annealer would.

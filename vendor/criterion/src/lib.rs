@@ -1,0 +1,199 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this crate
+//! implements the subset of criterion the benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `sample_size` and `finish`), [`Bencher::iter`], and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is auto-calibrated so one sample
+//! takes roughly [`TARGET_SAMPLE_SECONDS`], then `sample_size` samples
+//! are collected and the min / median / mean per-iteration times are
+//! printed. No plots, no statistical regression — numbers on stdout,
+//! which is what EXPERIMENTS.md quotes.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per sample after calibration.
+pub const TARGET_SAMPLE_SECONDS: f64 = 0.05;
+
+/// Formats a per-iteration duration the way criterion does (ns/µs/ms/s).
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Times one routine: the argument to closures passed to
+/// [`Criterion::bench_function`].
+pub struct Bencher<'a> {
+    sample_size: usize,
+    report: &'a mut Vec<(String, f64)>,
+    name: String,
+}
+
+impl Bencher<'_> {
+    /// Runs `routine` repeatedly and records per-iteration statistics.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: find an iteration count whose sample takes
+        // roughly the target time (at least one iteration).
+        let mut iters = 1usize;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_secs_f64(TARGET_SAMPLE_SECONDS) || iters >= 1 << 24 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{:<40} time: [{} {} {}]  ({} samples × {} iters)",
+            self.name,
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            samples.len(),
+            iters
+        );
+        self.report.push((self.name.clone(), median));
+    }
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Benchmarks one routine under `name`.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut b = Bencher {
+            sample_size: 20,
+            report: &mut self.results,
+            name,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// `(name, median seconds/iteration)` for every completed bench.
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per bench in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks one routine under `group/name`.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            report: &mut self.criterion.results,
+            name: full,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; this
+            // runner has no options, so they are ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_result() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].1 > 0.0);
+    }
+
+    #[test]
+    fn group_prefixes_names() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function("fast", |b| b.iter(|| black_box(0u64)));
+        g.finish();
+        assert_eq!(c.results()[0].0, "grp/fast");
+    }
+}

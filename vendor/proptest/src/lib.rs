@@ -1,0 +1,412 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate
+//! implements the subset of proptest the workspace uses: range and
+//! collection strategies, `sample::select`, tuple composition, the
+//! [`test_runner::TestRunner`], and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! - no shrinking — a failing case reports its inputs verbatim;
+//! - sampling is driven by the workspace's deterministic `rand` stub,
+//!   so every property run is reproducible across machines and runs
+//!   (real proptest keeps a persistence file for this instead).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt};
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                let span = (self.end as i128 - self.start as i128).max(1) as u128;
+                let r = (rng.next_u64() as u128) % span;
+                (self.start as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        self.start + rng.random::<f64>() * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy> Strategy for (A,) {
+    type Value = (A::Value,);
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.sample(rng),)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// Constant-value strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Rng, StdRng, Strategy};
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Vectors of `element` values with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let span = (self.len.end - self.len.start).max(1);
+            let n = self.len.start + (rng.next_u64() as usize) % span;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies.
+pub mod sample {
+    use super::{Rng, StdRng, Strategy};
+    use std::fmt::Debug;
+
+    /// Strategy choosing uniformly among fixed options.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone + Debug>(Vec<T>);
+
+    /// Uniform choice from `options` (which must be non-empty).
+    pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.0[(rng.next_u64() as usize) % self.0.len()].clone()
+        }
+    }
+}
+
+/// The test runner and its configuration.
+pub mod test_runner {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// Number of cases to run per property.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps the numeric
+            // suites fast on small machines while still exercising the
+            // input space.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A failure with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// A failed property run (the first failing case, with its input).
+    #[derive(Debug, Clone)]
+    pub struct TestError {
+        /// Failure message.
+        pub message: String,
+        /// Debug rendering of the failing input.
+        pub input: String,
+        /// Which case failed (0-based).
+        pub case: u32,
+    }
+
+    impl fmt::Display for TestError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(
+                f,
+                "property failed at case {}: {}\ninput: {}",
+                self.case, self.message, self.input
+            )
+        }
+    }
+
+    /// Drives a property over many sampled inputs.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: StdRng,
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            TestRunner::new(ProptestConfig::default())
+        }
+    }
+
+    impl TestRunner {
+        /// A runner with the given configuration. The RNG seed is
+        /// fixed: property runs are deterministic by design here.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner {
+                config,
+                rng: StdRng::seed_from_u64(0x9E3779B97F4A7C15),
+            }
+        }
+
+        /// Runs `test` on `config.cases` sampled inputs; stops at the
+        /// first failure.
+        ///
+        /// # Errors
+        ///
+        /// [`TestError`] carrying the failing input and message.
+        pub fn run<S: Strategy>(
+            &mut self,
+            strategy: &S,
+            mut test: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+        ) -> Result<(), TestError> {
+            for case in 0..self.config.cases {
+                let value = strategy.sample(&mut self.rng);
+                let rendered = format!("{value:?}");
+                if let Err(e) = test(value) {
+                    return Err(TestError {
+                        message: e.to_string(),
+                        input: rendered,
+                        case,
+                    });
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy};
+}
+
+/// Asserts a condition inside a property, failing the case (not
+/// panicking) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: {:?} == {:?}",
+            left,
+            right
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running the body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            let strategy = ($($strat,)+);
+            runner
+                .run(&strategy, |($($arg,)+)| {
+                    $body
+                    Ok(())
+                })
+                .unwrap_or_else(|e| panic!("{e}"));
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut runner = TestRunner::default();
+        runner
+            .run(&(0u8..3, -5i32..5), |(a, b)| {
+                prop_assert!(a < 3);
+                prop_assert!((-5..5).contains(&b));
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn vec_strategy_respects_length() {
+        let mut runner = TestRunner::default();
+        let strat = crate::collection::vec(0u64..10, 1..4);
+        runner
+            .run(&strat, |v| {
+                prop_assert!(!v.is_empty() && v.len() < 4);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn select_only_yields_options() {
+        let mut runner = TestRunner::default();
+        let strat = crate::sample::select(vec!["a", "b"]);
+        runner
+            .run(&strat, |s| {
+                prop_assert!(s == "a" || s == "b");
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_form_works(x in 0u64..100, ys in crate::collection::vec(0u8..2, 1..5)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(ys.iter().filter(|&&y| y > 1).count(), 0);
+        }
+    }
+
+    #[test]
+    fn failure_reports_input() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(8));
+        let err = runner
+            .run(&(0u32..10), |x| {
+                prop_assert!(x < 0, "x = {x}");
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("x = "));
+    }
+}

@@ -1,0 +1,165 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the (small) API surface the workspace actually uses:
+//!
+//! - a dyn-compatible [`Rng`] trait exposing `next_u64`,
+//! - [`RngExt::random`] for uniform samples (`f64` in `[0, 1)`, full
+//!   range integers, fair `bool`),
+//! - [`SeedableRng::seed_from_u64`],
+//! - [`rngs::StdRng`], a xoshiro256++ generator seeded via SplitMix64.
+//!
+//! Determinism is part of the contract: the whole synthesis pipeline
+//! promises bit-identical runs per seed, so the generator here must
+//! never silently change. xoshiro256++ is used verbatim from the
+//! published reference implementation (Blackman & Vigna, public
+//! domain).
+
+/// A source of random 64-bit words. Dyn-compatible on purpose: the
+/// annealing engine passes `&mut dyn Rng` through its problem trait.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from an [`Rng`].
+pub trait Random {
+    /// Draws one sample.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for u64 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Random for bool {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`]
+/// (including `dyn Rng`).
+pub trait RngExt: Rng {
+    /// A uniform sample of `T` (see [`Random`] for the distributions).
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Generators constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ seeded through
+    /// SplitMix64 (so nearby integer seeds give unrelated streams).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the full state; the
+            // all-zero state is unreachable because SplitMix64 is a
+            // bijection followed by distinct increments.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step.
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn dyn_rng_usable() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dyn_rng: &mut dyn Rng = &mut rng;
+        let x: f64 = dyn_rng.random();
+        assert!((0.0..1.0).contains(&x));
+        let _ = dyn_rng.next_u64();
+    }
+}
