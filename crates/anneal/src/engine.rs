@@ -1,7 +1,7 @@
 //! The Metropolis loop binding schedule, move statistics, and problem.
 
-use crate::moves::{DirtySet, MoveStats};
-use crate::schedule::{initial_temperature, LamSchedule};
+use crate::moves::{DirtySet, MoveStats, MoveStatsSnapshot};
+use crate::schedule::{initial_temperature, LamSchedule, ScheduleSnapshot};
 use crate::trace::{Trace, TracePoint};
 use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
@@ -139,6 +139,74 @@ pub struct AnnealResult<S> {
     pub class_usage: Vec<(usize, usize)>,
 }
 
+/// The phase an interrupted run stood in when its checkpoint was cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// The Lam-scheduled Metropolis phase.
+    Main,
+    /// The zero-temperature greedy quench.
+    Quench,
+}
+
+/// A complete, serializable image of an annealing run in flight.
+///
+/// Restarting [`Annealer::run_controlled`] from a checkpoint continues
+/// the run **bit-identically**: the RNG stream, the Hustin move
+/// statistics, the Lam schedule's control loop, and every counter the
+/// loop consults (`attempted` drives the `refresh_every`/`trace_every`
+/// modulo tests) are all captured. The one thing deliberately *not*
+/// captured is problem-side state — problems with internal state (cost
+/// caches, adaptive weights) snapshot themselves in the same hook that
+/// persists this struct, so the pair is cut at the same instant.
+#[derive(Debug, Clone)]
+pub struct AnnealCheckpoint<S> {
+    /// Which loop the run was in.
+    pub phase: Phase,
+    /// Raw RNG state (xoshiro256++ words).
+    pub rng: [u64; 4],
+    /// Hustin move-class statistics, including in-window counters.
+    pub stats: MoveStatsSnapshot,
+    /// Lam schedule state (meaningful in the main phase; carried
+    /// through the quench unchanged).
+    pub schedule: ScheduleSnapshot,
+    /// Current configuration.
+    pub state: S,
+    /// Its cached cost.
+    pub cost: f64,
+    /// Best configuration so far.
+    pub best_state: S,
+    /// Its cached cost.
+    pub best_cost: f64,
+    /// Total proposals so far.
+    pub attempted: usize,
+    /// Total acceptances so far.
+    pub accepted: usize,
+    /// Quench-phase moves since the last improvement.
+    pub since_improvement: usize,
+    /// Trace sampled so far.
+    pub trace: Trace,
+}
+
+/// What a checkpoint hook tells the engine to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Directive {
+    /// Keep annealing.
+    Continue,
+    /// Stop now; the run is returned as
+    /// [`ControlledOutcome::Interrupted`].
+    Stop,
+}
+
+/// Outcome of [`Annealer::run_controlled`].
+#[derive(Debug, Clone)]
+pub enum ControlledOutcome<S> {
+    /// The run finished (budget exhausted, quench frozen out).
+    Complete(AnnealResult<S>),
+    /// A hook returned [`Directive::Stop`]; the checkpoint resumes the
+    /// run exactly where it stood.
+    Interrupted(Box<AnnealCheckpoint<S>>),
+}
+
 /// The simulated-annealing engine.
 #[derive(Debug)]
 pub struct Annealer {
@@ -156,98 +224,189 @@ impl Annealer {
     /// Runs the full anneal: warm-up probe → Lam-scheduled Metropolis →
     /// zero-temperature quench. Returns the best state visited.
     pub fn run<P: AnnealProblem>(&mut self, problem: &mut P) -> AnnealResult<P::State> {
-        let mut stats = MoveStats::new(problem.move_classes());
-        let mut state = problem.initial_state();
-        let mut cost = problem.cost(&state);
-        let mut best_state = state.clone();
-        let mut best_cost = cost;
-        let mut trace = Trace::new(problem.telemetry_names());
+        match self.run_controlled(problem, None, 0, |_, _| Directive::Continue) {
+            ControlledOutcome::Complete(r) => r,
+            ControlledOutcome::Interrupted(_) => {
+                unreachable!("no hook ever issued Stop")
+            }
+        }
+    }
 
-        // Warm-up probe: sample deltas to set T₀.
-        let mut deltas = Vec::with_capacity(self.opts.warmup_moves);
-        for _ in 0..self.opts.warmup_moves {
-            let class = stats.pick(&mut self.rng);
-            if let Some((cand, dirty)) = problem.propose_dirty(&state, class, 1.0, &mut self.rng) {
-                let c = problem.cost_moved(&cand, &dirty);
-                deltas.push(c - cost);
-                // Drift through the probe (keeps it away from a single
-                // point) but only downhill, so T₀ reflects the start.
-                if c < cost {
-                    state = cand;
-                    cost = c;
-                    if c < best_cost {
-                        best_cost = c;
+    /// Runs the anneal under external control: every `checkpoint_every`
+    /// proposals the engine cuts an [`AnnealCheckpoint`] and hands it to
+    /// `hook` together with the problem (so the problem can snapshot its
+    /// own state at the same instant). A [`Directive::Stop`] ends the
+    /// run immediately; passing the returned checkpoint back as `resume`
+    /// later continues it bit-identically, skipping the warm-up probe.
+    ///
+    /// With `checkpoint_every == 0` the hook is never called and the run
+    /// is exactly [`Annealer::run`].
+    pub fn run_controlled<P: AnnealProblem>(
+        &mut self,
+        problem: &mut P,
+        resume: Option<AnnealCheckpoint<P::State>>,
+        checkpoint_every: usize,
+        mut hook: impl FnMut(&mut P, &AnnealCheckpoint<P::State>) -> Directive,
+    ) -> ControlledOutcome<P::State> {
+        let mut stats;
+        let mut state;
+        let mut cost;
+        let mut best_state;
+        let mut best_cost;
+        let mut trace;
+        let mut schedule;
+        let mut attempted;
+        let mut accepted_count;
+        let mut since_improvement;
+        let phase;
+
+        match resume {
+            Some(ck) => {
+                // Continue exactly where the checkpoint was cut; the
+                // warm-up probe already happened in the original run.
+                self.rng = StdRng::from_state(ck.rng);
+                stats = MoveStats::from_snapshot(ck.stats);
+                schedule = LamSchedule::from_snapshot(ck.schedule);
+                state = ck.state;
+                cost = ck.cost;
+                best_state = ck.best_state;
+                best_cost = ck.best_cost;
+                trace = ck.trace;
+                attempted = ck.attempted;
+                accepted_count = ck.accepted;
+                since_improvement = ck.since_improvement;
+                phase = ck.phase;
+            }
+            None => {
+                stats = MoveStats::new(problem.move_classes());
+                state = problem.initial_state();
+                cost = problem.cost(&state);
+                best_state = state.clone();
+                best_cost = cost;
+                trace = Trace::new(problem.telemetry_names());
+
+                // Warm-up probe: sample deltas to set T₀.
+                let mut deltas = Vec::with_capacity(self.opts.warmup_moves);
+                for _ in 0..self.opts.warmup_moves {
+                    let class = stats.pick(&mut self.rng);
+                    if let Some((cand, dirty)) =
+                        problem.propose_dirty(&state, class, 1.0, &mut self.rng)
+                    {
+                        let c = problem.cost_moved(&cand, &dirty);
+                        deltas.push(c - cost);
+                        // Drift through the probe (keeps it away from a
+                        // single point) but only downhill, so T₀
+                        // reflects the start.
+                        if c < cost {
+                            state = cand;
+                            cost = c;
+                            if c < best_cost {
+                                best_cost = c;
+                                best_state = state.clone();
+                            }
+                        }
+                    }
+                }
+                let t0 = initial_temperature(&deltas, self.opts.chi0);
+                schedule = LamSchedule::new(t0, self.opts.moves_budget);
+                attempted = 0usize;
+                accepted_count = 0usize;
+                since_improvement = 0usize;
+                phase = Phase::Main;
+            }
+        }
+
+        macro_rules! cut_checkpoint {
+            ($phase:expr) => {
+                AnnealCheckpoint {
+                    phase: $phase,
+                    rng: self.rng.state(),
+                    stats: stats.snapshot(),
+                    schedule: schedule.snapshot(),
+                    state: state.clone(),
+                    cost,
+                    best_state: best_state.clone(),
+                    best_cost,
+                    attempted,
+                    accepted: accepted_count,
+                    since_improvement,
+                    trace: trace.clone(),
+                }
+            };
+        }
+
+        // Main Lam-scheduled phase.
+        if phase == Phase::Main {
+            while !schedule.exhausted() {
+                let class = stats.pick(&mut self.rng);
+                let scale = stats.scale(class);
+                attempted += 1;
+                let proposal = problem.propose_dirty(&state, class, scale, &mut self.rng);
+                let accepted = match proposal {
+                    None => {
+                        stats.record(class, false, 0.0);
+                        schedule.record(false);
+                        false
+                    }
+                    Some((cand, dirty)) => {
+                        let cand_cost = problem.cost_moved(&cand, &dirty);
+                        let delta = cand_cost - cost;
+                        let t = schedule.temperature();
+                        let take = delta <= 0.0
+                            || (t > 0.0 && self.rng.random::<f64>() < (-delta / t).exp());
+                        stats.record(class, take, delta);
+                        schedule.record(take);
+                        if take {
+                            state = cand;
+                            cost = cand_cost;
+                            accepted_count += 1;
+                            if cost < best_cost {
+                                best_cost = cost;
+                                best_state = state.clone();
+                            }
+                        }
+                        take
+                    }
+                };
+                let _ = accepted;
+                if self.opts.refresh_every > 0 && attempted.is_multiple_of(self.opts.refresh_every)
+                {
+                    cost = problem.cost(&state);
+                    best_cost = problem.cost(&best_state);
+                    if cost < best_cost {
+                        best_cost = cost;
                         best_state = state.clone();
                     }
                 }
-            }
-        }
-        let t0 = initial_temperature(&deltas, self.opts.chi0);
-        let mut schedule = LamSchedule::new(t0, self.opts.moves_budget);
-
-        let mut attempted = 0usize;
-        let mut accepted_count = 0usize;
-
-        // Main Lam-scheduled phase.
-        while !schedule.exhausted() {
-            let class = stats.pick(&mut self.rng);
-            let scale = stats.scale(class);
-            attempted += 1;
-            let proposal = problem.propose_dirty(&state, class, scale, &mut self.rng);
-            let accepted = match proposal {
-                None => {
-                    stats.record(class, false, 0.0);
-                    schedule.record(false);
-                    false
+                if self.opts.trace_every > 0 && attempted.is_multiple_of(self.opts.trace_every) {
+                    trace.points.push(TracePoint {
+                        move_index: attempted,
+                        cost,
+                        best_cost,
+                        temperature: schedule.temperature(),
+                        acceptance: schedule.acceptance(),
+                        telemetry: problem.telemetry(&state),
+                    });
                 }
-                Some((cand, dirty)) => {
-                    let cand_cost = problem.cost_moved(&cand, &dirty);
-                    let delta = cand_cost - cost;
-                    let t = schedule.temperature();
-                    let take =
-                        delta <= 0.0 || (t > 0.0 && self.rng.random::<f64>() < (-delta / t).exp());
-                    stats.record(class, take, delta);
-                    schedule.record(take);
-                    if take {
-                        state = cand;
-                        cost = cand_cost;
-                        accepted_count += 1;
-                        if cost < best_cost {
-                            best_cost = cost;
-                            best_state = state.clone();
-                        }
+                if checkpoint_every > 0 && attempted.is_multiple_of(checkpoint_every) {
+                    let ck = cut_checkpoint!(Phase::Main);
+                    if hook(problem, &ck) == Directive::Stop {
+                        return ControlledOutcome::Interrupted(Box::new(ck));
                     }
-                    take
-                }
-            };
-            let _ = accepted;
-            if self.opts.refresh_every > 0 && attempted.is_multiple_of(self.opts.refresh_every) {
-                cost = problem.cost(&state);
-                best_cost = problem.cost(&best_state);
-                if cost < best_cost {
-                    best_cost = cost;
-                    best_state = state.clone();
                 }
             }
-            if self.opts.trace_every > 0 && attempted.is_multiple_of(self.opts.trace_every) {
-                trace.points.push(TracePoint {
-                    move_index: attempted,
-                    cost,
-                    best_cost,
-                    temperature: schedule.temperature(),
-                    acceptance: schedule.acceptance(),
-                    telemetry: problem.telemetry(&state),
-                });
-            }
+
+            // Quench entry: greedy descent starts from the best state
+            // found, with the cached costs re-evaluated so a drifting
+            // cost function cannot leave the quench comparing against a
+            // stale number.
+            state = best_state.clone();
+            cost = problem.cost(&state);
+            best_cost = cost;
+            since_improvement = 0;
         }
 
-        // Quench: greedy descent from the best state found, with the
-        // cached costs re-evaluated so a drifting cost function cannot
-        // leave the quench comparing against a stale number.
-        state = best_state.clone();
-        cost = problem.cost(&state);
-        best_cost = cost;
-        let mut since_improvement = 0usize;
+        // Quench phase.
         while since_improvement < self.opts.quench_patience {
             if problem.frozen(&state) {
                 break;
@@ -283,9 +442,15 @@ impl Annealer {
                     telemetry: problem.telemetry(&state),
                 });
             }
+            if checkpoint_every > 0 && attempted.is_multiple_of(checkpoint_every) {
+                let ck = cut_checkpoint!(Phase::Quench);
+                if hook(problem, &ck) == Directive::Stop {
+                    return ControlledOutcome::Interrupted(Box::new(ck));
+                }
+            }
         }
 
-        AnnealResult {
+        ControlledOutcome::Complete(AnnealResult {
             final_cost: cost,
             best_state,
             best_cost,
@@ -297,7 +462,7 @@ impl Annealer {
                 .iter()
                 .map(|c| (c.total_attempts, c.total_accepts))
                 .collect(),
-        }
+        })
     }
 }
 
@@ -552,6 +717,84 @@ mod tests {
             (0.25..0.65).contains(&mean),
             "mid-run acceptance should track the Lam plateau: {mean:.3}"
         );
+    }
+
+    #[test]
+    fn controlled_run_without_stop_matches_plain_run() {
+        let opts = AnnealOptions {
+            moves_budget: 6_000,
+            seed: 17,
+            trace_every: 200,
+            ..AnnealOptions::default()
+        };
+        let plain = Annealer::new(opts.clone()).run(&mut Rastrigin);
+        let mut hooks = 0usize;
+        let controlled =
+            match Annealer::new(opts).run_controlled(&mut Rastrigin, None, 250, |_, ck| {
+                hooks += 1;
+                assert!(ck.attempted.is_multiple_of(250));
+                Directive::Continue
+            }) {
+                ControlledOutcome::Complete(r) => r,
+                ControlledOutcome::Interrupted(_) => unreachable!(),
+            };
+        assert!(hooks > 10, "hook fired {hooks} times");
+        assert_eq!(plain.best_cost.to_bits(), controlled.best_cost.to_bits());
+        assert_eq!(plain.final_cost.to_bits(), controlled.final_cost.to_bits());
+        assert_eq!(plain.attempted, controlled.attempted);
+        assert_eq!(plain.accepted, controlled.accepted);
+        assert_eq!(plain.trace.points, controlled.trace.points);
+    }
+
+    #[test]
+    fn interrupt_and_resume_is_bit_identical() {
+        let opts = AnnealOptions {
+            moves_budget: 6_000,
+            seed: 21,
+            trace_every: 300,
+            quench_patience: 1_500,
+            ..AnnealOptions::default()
+        };
+        let full = Annealer::new(opts.clone()).run(&mut Rastrigin);
+        // Interrupt in the main phase (early, late) and in the quench.
+        for stop_at in [400usize, 5_200, 6_300] {
+            let outcome =
+                Annealer::new(opts.clone()).run_controlled(&mut Rastrigin, None, 100, |_, ck| {
+                    if ck.attempted >= stop_at {
+                        Directive::Stop
+                    } else {
+                        Directive::Continue
+                    }
+                });
+            let ck = match outcome {
+                ControlledOutcome::Interrupted(ck) => *ck,
+                // The quench may freeze out before a late stop point —
+                // then there is nothing to resume.
+                ControlledOutcome::Complete(_) => continue,
+            };
+            if stop_at > 6_000 {
+                assert_eq!(ck.phase, Phase::Quench);
+            } else {
+                assert_eq!(ck.phase, Phase::Main);
+            }
+            let resumed = match Annealer::new(opts.clone()).run_controlled(
+                &mut Rastrigin,
+                Some(ck),
+                0,
+                |_, _| Directive::Continue,
+            ) {
+                ControlledOutcome::Complete(r) => r,
+                ControlledOutcome::Interrupted(_) => unreachable!(),
+            };
+            assert_eq!(full.best_cost.to_bits(), resumed.best_cost.to_bits());
+            assert_eq!(full.final_cost.to_bits(), resumed.final_cost.to_bits());
+            assert_eq!(full.best_state.0.to_bits(), resumed.best_state.0.to_bits());
+            assert_eq!(full.best_state.1.to_bits(), resumed.best_state.1.to_bits());
+            assert_eq!(full.attempted, resumed.attempted);
+            assert_eq!(full.accepted, resumed.accepted);
+            assert_eq!(full.trace.points, resumed.trace.points);
+            assert_eq!(full.class_usage, resumed.class_usage);
+        }
     }
 
     #[test]

@@ -52,7 +52,10 @@ mod moves;
 pub mod schedule;
 mod trace;
 
-pub use engine::{AnnealOptions, AnnealProblem, AnnealResult, Annealer};
-pub use moves::{ClassStats, DirtySet, MoveStats};
-pub use schedule::LamSchedule;
+pub use engine::{
+    AnnealCheckpoint, AnnealOptions, AnnealProblem, AnnealResult, Annealer, ControlledOutcome,
+    Directive, Phase,
+};
+pub use moves::{ClassStats, DirtySet, MoveStats, MoveStatsSnapshot};
+pub use schedule::{LamSchedule, ScheduleSnapshot};
 pub use trace::{Trace, TracePoint};

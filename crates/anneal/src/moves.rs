@@ -62,7 +62,7 @@ impl DirtySet {
 }
 
 /// Statistics for one move class.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ClassStats {
     /// Attempts in the current window.
     pub attempts: usize,
@@ -87,6 +87,22 @@ pub struct MoveStats {
     window: usize,
     seen: usize,
     p_min: f64,
+}
+
+/// A plain-data image of a [`MoveStats`], for checkpoint/restore. All
+/// fields are public so external serializers can write any format; the
+/// restore path ([`MoveStats::from_snapshot`]) reproduces the selector
+/// bit for bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MoveStatsSnapshot {
+    /// Per-class statistics, including the in-window counters.
+    pub classes: Vec<ClassStats>,
+    /// Re-balance window length (attempts between rebalances).
+    pub window: usize,
+    /// Attempts recorded since the last rebalance.
+    pub seen: usize,
+    /// Probability floor applied at rebalance.
+    pub p_min: f64,
 }
 
 impl MoveStats {
@@ -130,6 +146,33 @@ impl MoveStats {
     /// Per-class statistics.
     pub fn classes(&self) -> &[ClassStats] {
         &self.classes
+    }
+
+    /// Captures the full selector state for checkpointing.
+    pub fn snapshot(&self) -> MoveStatsSnapshot {
+        MoveStatsSnapshot {
+            classes: self.classes.clone(),
+            window: self.window,
+            seen: self.seen,
+            p_min: self.p_min,
+        }
+    }
+
+    /// Rebuilds a selector from a [`MoveStats::snapshot`], continuing
+    /// the exact adaptive trajectory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot holds no classes (such a selector could
+    /// never have existed).
+    pub fn from_snapshot(s: MoveStatsSnapshot) -> Self {
+        assert!(!s.classes.is_empty(), "snapshot must hold move classes");
+        MoveStats {
+            classes: s.classes,
+            window: s.window,
+            seen: s.seen,
+            p_min: s.p_min,
+        }
     }
 
     /// Samples a move class according to the current probabilities.

@@ -98,6 +98,44 @@ impl LamSchedule {
     pub fn exhausted(&self) -> bool {
         self.done_moves >= self.total_moves
     }
+
+    /// Captures the full schedule state for checkpointing.
+    pub fn snapshot(&self) -> ScheduleSnapshot {
+        ScheduleSnapshot {
+            temperature: self.temperature,
+            accept_est: self.accept_est,
+            total_moves: self.total_moves,
+            done_moves: self.done_moves,
+            smoothing: self.smoothing,
+        }
+    }
+
+    /// Rebuilds a schedule from a [`LamSchedule::snapshot`], continuing
+    /// the exact control trajectory.
+    pub fn from_snapshot(s: ScheduleSnapshot) -> Self {
+        LamSchedule {
+            temperature: s.temperature,
+            accept_est: s.accept_est,
+            total_moves: s.total_moves.max(1),
+            done_moves: s.done_moves,
+            smoothing: s.smoothing,
+        }
+    }
+}
+
+/// A plain-data image of a [`LamSchedule`], for checkpoint/restore.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleSnapshot {
+    /// Current temperature.
+    pub temperature: f64,
+    /// Exponentially smoothed acceptance estimate.
+    pub accept_est: f64,
+    /// Total move budget of the run.
+    pub total_moves: usize,
+    /// Moves recorded so far.
+    pub done_moves: usize,
+    /// Smoothing constant of the acceptance estimator.
+    pub smoothing: f64,
 }
 
 /// Estimates an initial temperature from a sample of uphill cost deltas

@@ -51,6 +51,8 @@ pub mod bench_suite;
 pub mod corners;
 pub mod cost;
 pub mod emit;
+pub mod jobs;
+pub mod json;
 pub mod oblx;
 mod plan;
 pub mod report;
@@ -61,10 +63,11 @@ pub mod yield_mc;
 pub use astrx::{compile, compile_source, CompileError, CompileStats, CompiledProblem};
 pub use corners::{standard_corners, verify_corners, Corner, CornerResult};
 pub use cost::{CostBreakdown, CostEvaluator, EvalFailure, EvalStats};
+pub use jobs::JobRequest;
 pub use oblx::{
-    synthesize, synthesize_multi, MultiSynthesisResult, OblxProblem, SeedRunStats,
-    SynthesisOptions, SynthesisResult,
+    synthesize, synthesize_controlled, synthesize_multi, MultiSynthesisResult, OblxProblem,
+    SeedRunStats, SynthesisCheckpoint, SynthesisOptions, SynthesisOutcome, SynthesisResult,
 };
 pub use verify::{verify_design, verify_design_with, VerifiedDesign};
-pub use weights::AdaptiveWeights;
+pub use weights::{AdaptiveWeights, WeightsSnapshot};
 pub use yield_mc::{yield_mc, YieldOptions, YieldResult};

@@ -9,8 +9,11 @@
 
 use crate::astrx::{determined_voltages, CompiledProblem};
 use crate::cost::{CostBreakdown, CostEvaluator};
-use crate::weights::AdaptiveWeights;
-use oblx_anneal::{AnnealOptions, AnnealProblem, Annealer, DirtySet, Trace};
+use crate::weights::{AdaptiveWeights, WeightsSnapshot};
+use oblx_anneal::{
+    AnnealCheckpoint, AnnealOptions, AnnealProblem, Annealer, ControlledOutcome, Directive,
+    DirtySet, Trace,
+};
 use oblx_linalg::{Lu, Mat};
 use oblx_mna::{dc::linearize_at, SizedCircuit};
 use oblx_netlist::VarScale;
@@ -448,6 +451,40 @@ fn validate_dirty(state: &OblxState, next: &OblxState, dirty: &DirtySet) {
     }
 }
 
+/// A complete, serializable image of a synthesis run in flight: the
+/// engine-side [`AnnealCheckpoint`] plus the problem-side state the
+/// engine cannot see (adaptive weights, the evaluation counter that
+/// paces weight adaptation, accumulated wall time). Both halves are cut
+/// at the same instant, so restoring the pair continues the run
+/// **bit-identically** — the determinism contract is verified by the
+/// runtime crate's round-trip property test.
+#[derive(Debug, Clone)]
+pub struct SynthesisCheckpoint {
+    /// Seed of the run this checkpoint belongs to (sanity-checked on
+    /// resume: resuming under different options is a caller bug).
+    pub seed: u64,
+    /// Move budget of the run this checkpoint belongs to.
+    pub moves_budget: usize,
+    /// Engine state (RNG, schedule, move statistics, configurations).
+    pub engine: AnnealCheckpoint<OblxState>,
+    /// Adaptive-weight state.
+    pub weights: WeightsSnapshot,
+    /// Cost evaluations so far (paces the weight-adaptation cadence).
+    pub evals: usize,
+    /// Wall-clock seconds consumed before this checkpoint, across all
+    /// resumed segments.
+    pub wall_seconds: f64,
+}
+
+/// Outcome of [`synthesize_controlled`].
+#[derive(Debug, Clone)]
+pub enum SynthesisOutcome {
+    /// The run finished.
+    Complete(Box<SynthesisResult>),
+    /// A hook stopped the run; resume later from this checkpoint.
+    Interrupted(Box<SynthesisCheckpoint>),
+}
+
 /// Runs a full OBLX synthesis on a compiled problem.
 ///
 /// # Errors
@@ -459,8 +496,52 @@ pub fn synthesize(
     compiled: &CompiledProblem,
     opts: &SynthesisOptions,
 ) -> Result<SynthesisResult, crate::cost::EvalFailure> {
+    match synthesize_controlled(compiled, opts, None, 0, |_| Directive::Continue)? {
+        SynthesisOutcome::Complete(r) => Ok(*r),
+        SynthesisOutcome::Interrupted(_) => unreachable!("no hook ever issued Stop"),
+    }
+}
+
+/// Runs an OBLX synthesis under external control: every
+/// `checkpoint_every` proposals a [`SynthesisCheckpoint`] is cut and
+/// handed to `hook`, which may persist it and/or stop the run
+/// ([`Directive::Stop`]). Passing a previously cut checkpoint as
+/// `resume` continues that run bit-identically — the warm-up probe is
+/// skipped and the RNG, schedule, move statistics, adaptive weights and
+/// evaluation counters all pick up exactly where they stood.
+///
+/// With `checkpoint_every == 0` and no `resume` this is exactly
+/// [`synthesize`].
+///
+/// # Panics
+///
+/// If `resume` was cut under a different seed or move budget than
+/// `opts` carries — mixing checkpoints across runs would silently
+/// produce garbage, so it is rejected loudly.
+///
+/// # Errors
+///
+/// [`crate::cost::EvalFailure`] as for [`synthesize`].
+pub fn synthesize_controlled(
+    compiled: &CompiledProblem,
+    opts: &SynthesisOptions,
+    resume: Option<&SynthesisCheckpoint>,
+    checkpoint_every: usize,
+    mut hook: impl FnMut(&SynthesisCheckpoint) -> Directive,
+) -> Result<SynthesisOutcome, crate::cost::EvalFailure> {
     let start = Instant::now();
     let mut problem = OblxProblem::new(compiled, opts.clone());
+    let prior_wall = resume.map_or(0.0, |c| c.wall_seconds);
+    let engine_resume = resume.map(|c| {
+        assert_eq!(c.seed, opts.seed, "checkpoint cut under a different seed");
+        assert_eq!(
+            c.moves_budget, opts.moves_budget,
+            "checkpoint cut under a different move budget"
+        );
+        problem.weights = AdaptiveWeights::from_snapshot(c.weights.clone());
+        problem.evals = c.evals;
+        c.engine.clone()
+    });
     let mut annealer = Annealer::new(AnnealOptions {
         moves_budget: opts.moves_budget,
         seed: opts.seed,
@@ -468,8 +549,36 @@ pub fn synthesize(
         quench_patience: opts.quench_patience,
         ..AnnealOptions::default()
     });
-    let result = annealer.run(&mut problem);
-    let wall = start.elapsed().as_secs_f64();
+    let (seed, budget) = (opts.seed, opts.moves_budget);
+    let mut stopped: Option<SynthesisCheckpoint> = None;
+    let outcome = annealer.run_controlled(
+        &mut problem,
+        engine_resume,
+        checkpoint_every,
+        |p, engine_ck| {
+            let ck = SynthesisCheckpoint {
+                seed,
+                moves_budget: budget,
+                engine: engine_ck.clone(),
+                weights: p.weights.snapshot(),
+                evals: p.evals,
+                wall_seconds: prior_wall + start.elapsed().as_secs_f64(),
+            };
+            let directive = hook(&ck);
+            if directive == Directive::Stop {
+                stopped = Some(ck);
+            }
+            directive
+        },
+    );
+    let result = match outcome {
+        ControlledOutcome::Interrupted(_) => {
+            let ck = stopped.expect("Stop directive recorded its checkpoint");
+            return Ok(SynthesisOutcome::Interrupted(Box::new(ck)));
+        }
+        ControlledOutcome::Complete(result) => result,
+    };
+    let wall = prior_wall + start.elapsed().as_secs_f64();
     let evaluations = problem.evaluations();
     let stats = problem.evaluator.stats();
 
@@ -495,7 +604,7 @@ pub fn synthesize(
         .map(|(d, &v)| (d.name.clone(), v))
         .collect();
 
-    Ok(SynthesisResult {
+    Ok(SynthesisOutcome::Complete(Box::new(SynthesisResult {
         kcl_max: breakdown.kcl_max,
         best_cost: result.best_cost,
         breakdown,
@@ -522,7 +631,7 @@ pub fn synthesize(
             0.0
         },
         cache_hit_ratio: stats.cache_hit_ratio(),
-    })
+    })))
 }
 
 /// Per-seed summary from [`synthesize_multi`].
@@ -588,6 +697,37 @@ pub fn synthesize_multi(
     seeds: &[u64],
     threads: usize,
 ) -> Result<MultiSynthesisResult, crate::cost::EvalFailure> {
+    synthesize_multi_with(compiled, opts, seeds, threads, |_, run_opts| {
+        synthesize(compiled, run_opts)
+    })
+}
+
+/// The generalized multi-seed driver behind [`synthesize_multi`]:
+/// `run_one(seed, opts)` performs one per-seed run (it may checkpoint,
+/// resume, or emit events around the core synthesis — the runtime crate
+/// does all three), and the driver distributes seeds over up to
+/// `threads` workers and aggregates outcomes exactly as
+/// [`synthesize_multi`] does, preserving its thread-invariance
+/// guarantee as long as `run_one` is per-seed deterministic.
+///
+/// # Panics
+///
+/// If `seeds` is empty.
+///
+/// # Errors
+///
+/// The first failing seed's [`crate::cost::EvalFailure`] if *every*
+/// seed fails.
+pub fn synthesize_multi_with<F>(
+    compiled: &CompiledProblem,
+    opts: &SynthesisOptions,
+    seeds: &[u64],
+    threads: usize,
+    run_one: F,
+) -> Result<MultiSynthesisResult, crate::cost::EvalFailure>
+where
+    F: Fn(u64, &SynthesisOptions) -> Result<SynthesisResult, crate::cost::EvalFailure> + Sync,
+{
     assert!(
         !seeds.is_empty(),
         "synthesize_multi needs at least one seed"
@@ -608,7 +748,7 @@ pub fn synthesize_multi(
                     seed: seeds[i],
                     ..opts.clone()
                 };
-                let outcome = synthesize(compiled, &run_opts);
+                let outcome = run_one(seeds[i], &run_opts);
                 *slots[i].lock().unwrap() = Some(outcome);
             });
         }
@@ -824,6 +964,52 @@ mod tests {
             .fold(f64::INFINITY, f64::min);
         let winner = seq.runs.iter().find(|r| r.seed == seq.best_seed).unwrap();
         assert_eq!(winner.fixed_cost.to_bits(), min.to_bits());
+    }
+
+    #[test]
+    fn interrupted_synthesis_resumes_bit_identically() {
+        let c = compiled();
+        let opts = SynthesisOptions {
+            moves_budget: 900,
+            seed: 7,
+            quench_patience: 150,
+            trace_every: 100,
+            ..SynthesisOptions::default()
+        };
+        let full = synthesize(&c, &opts).unwrap();
+
+        // Stop after ~a third of the budget, then resume to completion.
+        let outcome = synthesize_controlled(&c, &opts, None, 50, |ck| {
+            if ck.engine.attempted >= 300 {
+                Directive::Stop
+            } else {
+                Directive::Continue
+            }
+        })
+        .unwrap();
+        let ck = match outcome {
+            SynthesisOutcome::Interrupted(ck) => *ck,
+            SynthesisOutcome::Complete(_) => panic!("must stop mid-run"),
+        };
+        assert_eq!(ck.engine.attempted, 300);
+        assert!(ck.evals > 0);
+
+        let resumed = match synthesize_controlled(&c, &opts, Some(&ck), 0, |_| Directive::Continue)
+            .unwrap()
+        {
+            SynthesisOutcome::Complete(r) => *r,
+            SynthesisOutcome::Interrupted(_) => unreachable!(),
+        };
+        assert_eq!(full.best_cost.to_bits(), resumed.best_cost.to_bits());
+        assert_eq!(full.state, resumed.state);
+        assert_eq!(full.attempted, resumed.attempted);
+        assert_eq!(full.evaluations, resumed.evaluations);
+        assert_eq!(full.kcl_max.to_bits(), resumed.kcl_max.to_bits());
+        assert_eq!(full.trace.points, resumed.trace.points);
+        for ((na, va), (nb, vb)) in full.measured.iter().zip(resumed.measured.iter()) {
+            assert_eq!(na, nb);
+            assert_eq!(va.to_bits(), vb.to_bits());
+        }
     }
 
     #[test]

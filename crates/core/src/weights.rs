@@ -82,6 +82,35 @@ impl AdaptiveWeights {
         self.device_w
     }
 
+    /// Captures the full adaptive state for checkpointing.
+    pub fn snapshot(&self) -> WeightsSnapshot {
+        WeightsSnapshot {
+            goal_w: self.goal_w.clone(),
+            adaptable: self.adaptable.clone(),
+            kcl_w: self.kcl_w.clone(),
+            device_w: self.device_w,
+            kcl_ramp: self.kcl_ramp,
+            violation_acc: self.violation_acc.clone(),
+            kcl_acc: self.kcl_acc.clone(),
+            samples: self.samples,
+        }
+    }
+
+    /// Rebuilds the weights from a [`AdaptiveWeights::snapshot`],
+    /// continuing the exact adaptation trajectory.
+    pub fn from_snapshot(s: WeightsSnapshot) -> Self {
+        AdaptiveWeights {
+            goal_w: s.goal_w,
+            adaptable: s.adaptable,
+            kcl_w: s.kcl_w,
+            device_w: s.device_w,
+            kcl_ramp: s.kcl_ramp,
+            violation_acc: s.violation_acc,
+            kcl_acc: s.kcl_acc,
+            samples: s.samples,
+        }
+    }
+
     /// Accumulates the violation profile of an accepted configuration
     /// (`violation` / `kcl_violation` as produced by
     /// [`crate::cost::CostBreakdown`]).
@@ -135,6 +164,29 @@ impl AdaptiveWeights {
         }
         self.samples = 0;
     }
+}
+
+/// A plain-data image of an [`AdaptiveWeights`], for checkpoint/
+/// restore. All fields are public so external serializers can write any
+/// format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightsSnapshot {
+    /// Per-goal weights.
+    pub goal_w: Vec<f64>,
+    /// Which goals adapt (constraints, not objectives).
+    pub adaptable: Vec<bool>,
+    /// Per-free-node KCL weights (without the ramp).
+    pub kcl_w: Vec<f64>,
+    /// Device-region term weight.
+    pub device_w: f64,
+    /// Current KCL progress ramp multiplier.
+    pub kcl_ramp: f64,
+    /// Accumulated goal violations since the last adaptation.
+    pub violation_acc: Vec<f64>,
+    /// Accumulated KCL violations since the last adaptation.
+    pub kcl_acc: Vec<f64>,
+    /// Observations accumulated since the last adaptation.
+    pub samples: usize,
 }
 
 #[cfg(test)]

@@ -1,0 +1,195 @@
+//! `oblxd` — the synthesis job daemon.
+//!
+//! ```text
+//! oblxd submit --dir SPOOL (--bench NAME | file.ox)
+//!              [--name N] [--seeds N|a,b,c] [--moves N] [--priority P]
+//! oblxd run    --dir SPOOL [--workers N] [--checkpoint-interval N] [--drain]
+//! oblxd status --dir SPOOL
+//! ```
+//!
+//! `submit` spools a job; `run` starts the worker pool (one worker per
+//! core by default) and, in `--drain` mode, exits when the spool is
+//! empty. A killed `run` restarted over the same spool recovers every
+//! orphaned job and resumes its seeds from their last checkpoints,
+//! bit-identically.
+
+use astrx_oblx::jobs::JobRequest;
+use astrx_oblx::{bench_suite, SynthesisOptions};
+use oblx_runtime::events::{status, EventLog};
+use oblx_runtime::pool::{self, PoolOptions};
+use oblx_runtime::spool::Spool;
+use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  oblxd submit --dir SPOOL (--bench NAME | file.ox) [--name N] \
+         [--seeds N|a,b,c] [--moves N] [--priority P]\n  \
+         oblxd run --dir SPOOL [--workers N] [--checkpoint-interval N] [--drain]\n  \
+         oblxd status --dir SPOOL"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return usage();
+    };
+    let rest: Vec<&String> = it.collect();
+    let Some(dir) = opt(&rest, "--dir") else {
+        eprintln!("error: --dir SPOOL is required");
+        return usage();
+    };
+    let spool = match Spool::open(dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot open spool `{dir}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.as_str() {
+        "submit" => cmd_submit(&spool, &rest),
+        "run" => cmd_run(&spool, &rest),
+        "status" => {
+            print!("{}", status(&spool).render());
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn flag(rest: &[&String], name: &str) -> bool {
+    rest.iter().any(|a| a.as_str() == name)
+}
+
+fn opt<'a>(rest: &'a [&String], name: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| a.as_str() == name)
+        .and_then(|i| rest.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn parse_seeds(rest: &[&String]) -> Result<Vec<u64>, String> {
+    match opt(rest, "--seeds") {
+        Some(s) if !s.contains(',') => match s.trim().parse::<u64>() {
+            Ok(n) if n > 0 => Ok((1..=n).collect()),
+            _ => Err(format!("--seeds wants a count or a comma list, got `{s}`")),
+        },
+        Some(s) => {
+            let seeds: Vec<u64> = s.split(',').filter_map(|x| x.trim().parse().ok()).collect();
+            if seeds.is_empty() {
+                Err(format!("--seeds parsed to an empty list from `{s}`"))
+            } else {
+                Ok(seeds)
+            }
+        }
+        None => Ok(vec![1, 2, 3]),
+    }
+}
+
+fn cmd_submit(spool: &Spool, rest: &[&String]) -> ExitCode {
+    let (source, deck, default_name) = if let Some(name) = opt(rest, "--bench") {
+        let Some(b) = bench_suite::by_name(name) else {
+            eprintln!("error: unknown benchmark `{name}` — see `astrx list`");
+            return ExitCode::FAILURE;
+        };
+        (
+            b.source.to_string(),
+            b.deck.label().to_string(),
+            b.name.to_string(),
+        )
+    } else {
+        let Some(path) = positional(rest) else {
+            eprintln!("error: submit needs --bench NAME or a .ox file");
+            return usage();
+        };
+        match std::fs::read_to_string(path) {
+            Ok(text) => (text, String::new(), path.to_string()),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let seeds = match parse_seeds(rest) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let options = SynthesisOptions {
+        moves_budget: opt(rest, "--moves")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(60_000),
+        ..SynthesisOptions::default()
+    };
+    let request = JobRequest {
+        name: opt(rest, "--name")
+            .map(str::to_string)
+            .unwrap_or(default_name),
+        source,
+        deck,
+        options,
+        seeds,
+        priority: opt(rest, "--priority")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0),
+    };
+    match spool.submit(request) {
+        Ok(job) => {
+            EventLog::open(spool, &job.id).emit(
+                "submitted",
+                &[
+                    ("name", job.request.name.as_str().into()),
+                    ("seeds", job.request.seeds.len().into()),
+                    ("priority", job.request.priority.into()),
+                ],
+            );
+            println!("{}", job.id);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: submit failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The first bare positional argument — one that neither starts with
+/// `--` nor sits in the value slot of a preceding `--opt`.
+fn positional<'a>(rest: &'a [&String]) -> Option<&'a str> {
+    rest.iter().enumerate().find_map(|(i, a)| {
+        let is_opt_value = i > 0 && rest[i - 1].starts_with("--");
+        (!a.starts_with("--") && !is_opt_value).then_some(a.as_str())
+    })
+}
+
+fn cmd_run(spool: &Spool, rest: &[&String]) -> ExitCode {
+    for id in spool.recover() {
+        EventLog::open(spool, &id).emit("recovered", &[]);
+        eprintln!("recovered orphaned job {id}");
+    }
+    let opts = PoolOptions {
+        workers: opt(rest, "--workers")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0),
+        checkpoint_every: opt(rest, "--checkpoint-interval")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(2_000),
+        drain: flag(rest, "--drain"),
+    };
+    if opts.checkpoint_every == 0 {
+        eprintln!("error: --checkpoint-interval must be positive");
+        return ExitCode::from(2);
+    }
+    let shutdown = AtomicBool::new(false);
+    let stats = pool::run(spool, &opts, &shutdown);
+    println!(
+        "done: {} job(s) completed, {} failed, {} seed task(s) run",
+        stats.jobs_completed, stats.jobs_failed, stats.seeds_run
+    );
+    ExitCode::SUCCESS
+}

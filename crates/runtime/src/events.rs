@@ -1,0 +1,366 @@
+//! Structured JSONL event logs and the `oblxd status` aggregation.
+//!
+//! Every job gets `events/<id>.jsonl` in the spool: one JSON object per
+//! line, appended with a single `write` each so concurrent workers
+//! interleave whole lines. A torn final line (crash mid-append) is
+//! skipped on read by `json::parse_lines` — the log is an audit trail,
+//! not a source of truth; job state lives in the spool directories and
+//! checkpoint files.
+
+use crate::spool::Spool;
+use astrx_oblx::jobs;
+use astrx_oblx::json::{self, ObjBuilder, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Append-only JSONL log for one job.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    path: PathBuf,
+}
+
+impl EventLog {
+    /// The log of job `id` in `spool`.
+    pub fn open(spool: &Spool, id: &str) -> EventLog {
+        EventLog {
+            path: spool.events_dir().join(format!("{id}.jsonl")),
+        }
+    }
+
+    /// Appends one event line (`ts` + `event` + the given fields). Log
+    /// failures are deliberately swallowed: a full disk must not take
+    /// down a synthesis run whose real state is checkpointed elsewhere.
+    pub fn emit(&self, event: &str, fields: &[(&str, Value)]) {
+        let ts = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0);
+        let mut obj = ObjBuilder::new().field("ts", ts).field("event", event);
+        for (key, value) in fields {
+            obj = obj.field(key, value.clone());
+        }
+        let mut line = obj.build().to_json();
+        line.push('\n');
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+        {
+            let _ = f.write_all(line.as_bytes());
+        }
+    }
+
+    /// All intact event lines, in order.
+    pub fn read(&self) -> Vec<Value> {
+        std::fs::read_to_string(&self.path)
+            .map(|text| json::parse_lines(&text))
+            .unwrap_or_default()
+    }
+}
+
+/// Progress of one claimed job, reconstructed from its event log.
+#[derive(Debug, Clone)]
+pub struct JobProgress {
+    /// Job id.
+    pub id: String,
+    /// Job name.
+    pub name: String,
+    /// Seeds in the job.
+    pub seeds_total: usize,
+    /// Seeds finished so far.
+    pub seeds_done: usize,
+    /// Latest checkpointed proposal count per in-flight seed.
+    pub seed_attempted: BTreeMap<u64, usize>,
+    /// Per-seed proposal budget.
+    pub moves_budget: usize,
+}
+
+/// One worker's live state, from the pool's `workers.json` snapshot.
+#[derive(Debug, Clone)]
+pub struct WorkerState {
+    /// Worker index.
+    pub worker: usize,
+    /// `true` while running a seed task.
+    pub busy: bool,
+    /// Job id of the current task, if busy.
+    pub job: Option<String>,
+    /// Seed of the current task, if busy.
+    pub seed: Option<u64>,
+    /// Seed tasks completed by this worker so far.
+    pub tasks_done: usize,
+}
+
+/// Aggregated spool state behind `oblxd status`.
+#[derive(Debug, Clone)]
+pub struct Status {
+    /// Pending jobs in claim order: `(id, name, priority, seeds)`.
+    pub queued: Vec<(String, String, i64, usize)>,
+    /// Claimed jobs with their per-seed progress.
+    pub running: Vec<JobProgress>,
+    /// Finished jobs that produced a result.
+    pub done_ok: usize,
+    /// Finished jobs that failed.
+    pub done_failed: usize,
+    /// Live worker states (empty when no daemon has written them).
+    pub workers: Vec<WorkerState>,
+}
+
+impl Status {
+    /// Queue depth (pending jobs).
+    pub fn queue_depth(&self) -> usize {
+        self.queued.len()
+    }
+
+    /// Busy worker fraction in `[0, 1]`, or `None` without a snapshot.
+    pub fn utilization(&self) -> Option<f64> {
+        if self.workers.is_empty() {
+            return None;
+        }
+        let busy = self.workers.iter().filter(|w| w.busy).count();
+        Some(busy as f64 / self.workers.len() as f64)
+    }
+
+    /// Renders the human-readable status report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "queue depth {}   running {}   done {} ok / {} failed",
+            self.queue_depth(),
+            self.running.len(),
+            self.done_ok,
+            self.done_failed
+        );
+        match self.utilization() {
+            Some(u) => {
+                let busy = self.workers.iter().filter(|w| w.busy).count();
+                let _ = writeln!(
+                    out,
+                    "workers {}/{} busy ({:.0}% utilization)",
+                    busy,
+                    self.workers.len(),
+                    100.0 * u
+                );
+                for w in &self.workers {
+                    match (&w.job, w.seed) {
+                        (Some(job), Some(seed)) => {
+                            let _ = writeln!(
+                                out,
+                                "  w{}: {} seed {} ({} tasks done)",
+                                w.worker, job, seed, w.tasks_done
+                            );
+                        }
+                        _ => {
+                            let _ = writeln!(
+                                out,
+                                "  w{}: idle ({} tasks done)",
+                                w.worker, w.tasks_done
+                            );
+                        }
+                    }
+                }
+            }
+            None => {
+                let _ = writeln!(out, "workers: no live snapshot (daemon not running?)");
+            }
+        }
+        for job in &self.running {
+            let moved: usize = job.seed_attempted.values().sum();
+            let _ = writeln!(
+                out,
+                "  running {} ({}): {}/{} seeds done, {} proposals checkpointed \
+                 (budget {}/seed)",
+                job.id, job.name, job.seeds_done, job.seeds_total, moved, job.moves_budget
+            );
+        }
+        for (id, name, priority, seeds) in &self.queued {
+            let _ = writeln!(
+                out,
+                "  queued  {id} ({name}): {seeds} seed(s), priority {priority}"
+            );
+        }
+        out
+    }
+}
+
+/// Reconstructs one job's progress from its event log.
+pub fn job_progress(spool: &Spool, job: &jobs::JobFile) -> JobProgress {
+    let mut progress = JobProgress {
+        id: job.id.clone(),
+        name: job.request.name.clone(),
+        seeds_total: job.request.seeds.len(),
+        seeds_done: 0,
+        seed_attempted: BTreeMap::new(),
+        moves_budget: job.request.options.moves_budget,
+    };
+    for event in EventLog::open(spool, &job.id).read() {
+        let kind = event.get("event").and_then(Value::as_str).unwrap_or("");
+        let seed = event
+            .get("seed")
+            .and_then(Value::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok());
+        match (kind, seed) {
+            ("checkpoint", Some(seed)) => {
+                if let Some(attempted) = event
+                    .get("attempted")
+                    .and_then(Value::as_int)
+                    .and_then(|i| usize::try_from(i).ok())
+                {
+                    progress.seed_attempted.insert(seed, attempted);
+                }
+            }
+            ("seed_done", Some(seed)) => {
+                progress.seeds_done += 1;
+                progress.seed_attempted.remove(&seed);
+            }
+            _ => {}
+        }
+    }
+    progress
+}
+
+/// Aggregates the whole spool into a [`Status`].
+pub fn status(spool: &Spool) -> Status {
+    let queued = spool
+        .pending()
+        .into_iter()
+        .map(|j| {
+            (
+                j.id,
+                j.request.name,
+                j.request.priority,
+                j.request.seeds.len(),
+            )
+        })
+        .collect();
+    let running = spool
+        .running()
+        .iter()
+        .map(|j| job_progress(spool, j))
+        .collect();
+    let (mut done_ok, mut done_failed) = (0, 0);
+    for id in spool.done_ids() {
+        match spool
+            .done(&id)
+            .as_ref()
+            .and_then(|r| r.get("status").and_then(Value::as_str).map(str::to_string))
+        {
+            Some(s) if s == "ok" => done_ok += 1,
+            _ => done_failed += 1,
+        }
+    }
+    let workers = read_workers(spool);
+    Status {
+        queued,
+        running,
+        done_ok,
+        done_failed,
+        workers,
+    }
+}
+
+fn read_workers(spool: &Spool) -> Vec<WorkerState> {
+    let Ok(text) = std::fs::read_to_string(spool.workers_path()) else {
+        return Vec::new();
+    };
+    let Ok(doc) = json::parse(&text) else {
+        return Vec::new();
+    };
+    let Some(rows) = doc.get("workers").and_then(Value::as_arr) else {
+        return Vec::new();
+    };
+    rows.iter()
+        .filter_map(|row| {
+            Some(WorkerState {
+                worker: usize::try_from(row.get("worker")?.as_int()?).ok()?,
+                busy: row.get("busy")?.as_bool()?,
+                job: row.get("job").and_then(Value::as_str).map(str::to_string),
+                seed: row
+                    .get("seed")
+                    .and_then(Value::as_str)
+                    .and_then(|s| u64::from_str_radix(s, 16).ok()),
+                tasks_done: row
+                    .get("tasks_done")
+                    .and_then(Value::as_int)
+                    .and_then(|i| usize::try_from(i).ok())
+                    .unwrap_or(0),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astrx_oblx::jobs::JobRequest;
+    use astrx_oblx::SynthesisOptions;
+
+    fn temp_spool(tag: &str) -> Spool {
+        let root = std::env::temp_dir().join(format!(
+            "oblx-events-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        Spool::open(root).unwrap()
+    }
+
+    #[test]
+    fn events_append_and_skip_torn_tail() {
+        let spool = temp_spool("append");
+        let log = EventLog::open(&spool, "j1");
+        log.emit("submitted", &[("name", "amp".into())]);
+        log.emit("started", &[]);
+        // Simulate a crash mid-append.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(spool.events_dir().join("j1.jsonl"))
+                .unwrap();
+            f.write_all(b"{\"ts\":12,\"event\":\"chec").unwrap();
+        }
+        let events = log.read();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("event").unwrap().as_str(), Some("submitted"));
+        assert_eq!(events[1].get("event").unwrap().as_str(), Some("started"));
+        std::fs::remove_dir_all(spool.root()).unwrap();
+    }
+
+    #[test]
+    fn status_aggregates_queue_and_progress() {
+        let spool = temp_spool("status");
+        let req = |name: &str| JobRequest {
+            name: name.into(),
+            source: ".end\n".into(),
+            deck: String::new(),
+            options: SynthesisOptions {
+                moves_budget: 1000,
+                ..SynthesisOptions::default()
+            },
+            seeds: vec![1, 2],
+            priority: 0,
+        };
+        spool.submit(req("waiting")).unwrap();
+        spool.submit(req("active")).unwrap();
+        let job = spool.claim_next().unwrap();
+        let log = EventLog::open(&spool, &job.id);
+        log.emit(
+            "checkpoint",
+            &[("seed", "1".into()), ("attempted", 400usize.into())],
+        );
+        log.emit("seed_done", &[("seed", "2".into())]);
+
+        let s = status(&spool);
+        assert_eq!(s.queue_depth(), 1);
+        assert_eq!(s.running.len(), 1);
+        assert_eq!(s.running[0].seeds_done, 1);
+        assert_eq!(s.running[0].seed_attempted.get(&1), Some(&400));
+        assert_eq!(s.utilization(), None, "no worker snapshot yet");
+        assert!(s.render().contains("queue depth 1"));
+        std::fs::remove_dir_all(spool.root()).unwrap();
+    }
+}

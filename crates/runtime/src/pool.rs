@@ -1,0 +1,693 @@
+//! The work-stealing worker pool.
+//!
+//! A claimed job is *sharded*: one task per seed, all pushed onto the
+//! claiming worker's local deque. Workers pop their own deque from the
+//! back (LIFO — warm caches) and steal from the front of other deques
+//! (FIFO — oldest, largest-remaining tasks first), so an 8-seed job
+//! claimed by one worker immediately spreads across every idle core,
+//! while a burst of one-seed jobs drains without contention on a single
+//! shared queue.
+//!
+//! Determinism: a per-seed run is a pure function of (problem, options,
+//! seed) — workers never share annealing state — so neither the worker
+//! count nor the steal order can change any result, only wall-clock
+//! time. Interruption (shutdown flag, or the process being killed)
+//! leaves per-seed checkpoints behind; the next `run` over the same
+//! spool resumes each unfinished seed bit-identically and completed
+//! seeds are replayed from their `seed_<s>.done.json` records rather
+//! than re-run.
+
+use crate::compile_job;
+use crate::events::EventLog;
+use crate::spool::Spool;
+use astrx_oblx::jobs::{self, JobFile};
+use astrx_oblx::json::{ObjBuilder, Value};
+use astrx_oblx::oblx::{fixed_cost, OblxState};
+use astrx_oblx::{CompiledProblem, SynthesisOptions, SynthesisOutcome};
+use oblx_anneal::Directive;
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Pool configuration.
+#[derive(Debug, Clone)]
+pub struct PoolOptions {
+    /// Worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Proposals between checkpoints of each per-seed run.
+    pub checkpoint_every: usize,
+    /// When `true`, return once the spool is drained; otherwise keep
+    /// polling for new jobs until `shutdown` is raised.
+    pub drain: bool,
+}
+
+impl Default for PoolOptions {
+    fn default() -> Self {
+        PoolOptions {
+            workers: 0,
+            checkpoint_every: 2_000,
+            drain: false,
+        }
+    }
+}
+
+/// What a `run` accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Jobs finished with a result.
+    pub jobs_completed: usize,
+    /// Jobs finished in failure (compile error or every seed failed).
+    pub jobs_failed: usize,
+    /// Seed tasks executed to completion.
+    pub seeds_run: usize,
+}
+
+/// One finished (or failed) per-seed run — the plain-data record that
+/// survives in `ckpt/<id>/seed_<seed>.done.json` until the whole job
+/// finalizes.
+#[derive(Debug, Clone)]
+struct SeedRecord {
+    seed: u64,
+    fixed_cost: f64,
+    best_cost: f64,
+    kcl_max: f64,
+    evaluations: usize,
+    attempted: usize,
+    wall_seconds: f64,
+    state: OblxState,
+    failed: bool,
+}
+
+struct RunningJob {
+    file: JobFile,
+    compiled: CompiledProblem,
+    log: EventLog,
+    remaining: AtomicUsize,
+    records: Mutex<Vec<Option<SeedRecord>>>,
+}
+
+type Task = (Arc<RunningJob>, usize);
+
+#[derive(Debug, Clone, Default)]
+struct WorkerSnap {
+    busy: bool,
+    job: Option<String>,
+    seed: Option<u64>,
+    tasks_done: usize,
+}
+
+struct Shared<'a> {
+    spool: &'a Spool,
+    opts: &'a PoolOptions,
+    shutdown: &'a AtomicBool,
+    locals: Vec<Mutex<VecDeque<Task>>>,
+    /// Serializes claim-and-shard so drain-exit checks are race-free.
+    claim_lock: Mutex<()>,
+    /// Seed tasks sharded but not yet finished or abandoned.
+    inflight: AtomicUsize,
+    snaps: Mutex<Vec<WorkerSnap>>,
+    stats: Mutex<RunStats>,
+}
+
+/// Runs the pool over `spool` until drained (with
+/// [`PoolOptions::drain`]) or until `shutdown` is raised. Call
+/// [`Spool::recover`] first when restarting after a crash.
+pub fn run(spool: &Spool, opts: &PoolOptions, shutdown: &AtomicBool) -> RunStats {
+    let workers = if opts.workers == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        opts.workers
+    };
+    let shared = Shared {
+        spool,
+        opts,
+        shutdown,
+        locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        claim_lock: Mutex::new(()),
+        inflight: AtomicUsize::new(0),
+        snaps: Mutex::new(vec![WorkerSnap::default(); workers]),
+        stats: Mutex::new(RunStats::default()),
+    };
+    write_workers(&shared);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let shared = &shared;
+            scope.spawn(move || worker_loop(shared, w));
+        }
+    });
+    let stats = *shared.stats.lock().unwrap();
+    write_workers(&shared); // final snapshot: everyone idle
+    stats
+}
+
+fn worker_loop(shared: &Shared<'_>, w: usize) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Some(task) = next_task(shared, w) {
+            run_task(shared, w, task);
+            continue;
+        }
+        // Nothing to steal: try to claim and shard a fresh job. The
+        // lock also makes the drain-exit test atomic with sharding —
+        // no task can appear between "queue empty" and "no inflight".
+        {
+            let _guard = shared.claim_lock.lock().unwrap();
+            if let Some(job) = shared.spool.claim_next() {
+                claim_and_shard(shared, w, job);
+                continue;
+            }
+            if shared.opts.drain && shared.inflight.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn next_task(shared: &Shared<'_>, w: usize) -> Option<Task> {
+    if let Some(task) = shared.locals[w].lock().unwrap().pop_back() {
+        return Some(task);
+    }
+    for i in 0..shared.locals.len() {
+        if i == w {
+            continue;
+        }
+        if let Some(task) = shared.locals[i].lock().unwrap().pop_front() {
+            return Some(task);
+        }
+    }
+    None
+}
+
+fn claim_and_shard(shared: &Shared<'_>, w: usize, job: JobFile) {
+    let log = EventLog::open(shared.spool, &job.id);
+    let compiled = match compile_job(&job.request) {
+        Ok(c) => c,
+        Err(e) => {
+            log.emit("failed", &[("error", e.as_str().into())]);
+            let record = ObjBuilder::new()
+                .field("format", "oblx-result")
+                .field("version", 1i64)
+                .field("id", job.id.as_str())
+                .field("name", job.request.name.as_str())
+                .field("status", "failed")
+                .field("error", e.as_str())
+                .build();
+            let _ = shared.spool.complete(&job.id, &record);
+            shared.stats.lock().unwrap().jobs_failed += 1;
+            return;
+        }
+    };
+    let ckdir = shared.spool.ckpt_dir(&job.id);
+    let _ = std::fs::create_dir_all(&ckdir);
+    let seeds = job.request.seeds.clone();
+    let mut records: Vec<Option<SeedRecord>> = vec![None; seeds.len()];
+    let mut todo = Vec::new();
+    for (i, &seed) in seeds.iter().enumerate() {
+        match read_seed_done(&ckdir, seed) {
+            Some(rec) => records[i] = Some(rec),
+            None => todo.push(i),
+        }
+    }
+    log.emit(
+        "started",
+        &[
+            ("seeds", seeds.len().into()),
+            ("replayed", (seeds.len() - todo.len()).into()),
+        ],
+    );
+    let running = Arc::new(RunningJob {
+        file: job,
+        compiled,
+        log,
+        remaining: AtomicUsize::new(todo.len()),
+        records: Mutex::new(records),
+    });
+    if todo.is_empty() {
+        finalize(shared, &running);
+        return;
+    }
+    shared.inflight.fetch_add(todo.len(), Ordering::SeqCst);
+    let mut local = shared.locals[w].lock().unwrap();
+    for i in todo {
+        local.push_back((Arc::clone(&running), i));
+    }
+}
+
+fn run_task(shared: &Shared<'_>, w: usize, (job, index): Task) {
+    let seed = job.file.request.seeds[index];
+    set_snap(shared, w, |s| {
+        s.busy = true;
+        s.job = Some(job.file.id.clone());
+        s.seed = Some(seed);
+    });
+    job.log
+        .emit("seed_started", &[("seed", jobs::u64_to_value(seed))]);
+    let run_opts = SynthesisOptions {
+        seed,
+        ..job.file.request.options.clone()
+    };
+    let ckdir = shared.spool.ckpt_dir(&job.file.id);
+    let outcome = jobs::run_seed_resumable(
+        &job.compiled,
+        &run_opts,
+        &ckdir,
+        shared.opts.checkpoint_every,
+        |ck| {
+            job.log.emit(
+                "checkpoint",
+                &[
+                    ("seed", jobs::u64_to_value(seed)),
+                    ("attempted", ck.engine.attempted.into()),
+                    ("cost", ck.engine.cost.into()),
+                    ("best_cost", ck.engine.best_cost.into()),
+                ],
+            );
+            if shared.shutdown.load(Ordering::SeqCst) {
+                Directive::Stop
+            } else {
+                Directive::Continue
+            }
+        },
+    );
+    let record = match outcome {
+        Ok(SynthesisOutcome::Complete(result)) => {
+            let fc = fixed_cost(&job.compiled, &result.state);
+            Some(SeedRecord {
+                seed,
+                fixed_cost: fc,
+                best_cost: result.best_cost,
+                kcl_max: result.kcl_max,
+                evaluations: result.evaluations,
+                attempted: result.attempted,
+                wall_seconds: result.wall_seconds,
+                state: result.state,
+                failed: false,
+            })
+        }
+        Ok(SynthesisOutcome::Interrupted(_)) => {
+            // Shutdown mid-run: the checkpoint file stays behind and
+            // the job stays in running/ for the next recover().
+            job.log
+                .emit("interrupted", &[("seed", jobs::u64_to_value(seed))]);
+            None
+        }
+        Err(e) => {
+            job.log.emit(
+                "seed_failed",
+                &[
+                    ("seed", jobs::u64_to_value(seed)),
+                    ("error", e.to_string().as_str().into()),
+                ],
+            );
+            Some(SeedRecord {
+                seed,
+                fixed_cost: f64::INFINITY,
+                best_cost: f64::NAN,
+                kcl_max: f64::NAN,
+                evaluations: 0,
+                attempted: 0,
+                wall_seconds: 0.0,
+                state: OblxState {
+                    user: Vec::new(),
+                    nodes: Vec::new(),
+                },
+                failed: true,
+            })
+        }
+    };
+    if let Some(record) = record {
+        let _ = jobs::write_atomic(&seed_done_path(&ckdir, seed), &seed_record_to_json(&record));
+        let _ = std::fs::remove_file(jobs::checkpoint_path(&ckdir, seed));
+        job.log.emit(
+            "seed_done",
+            &[
+                ("seed", jobs::u64_to_value(seed)),
+                ("fixed_cost", record.fixed_cost.into()),
+                ("evaluations", record.evaluations.into()),
+                ("failed", record.failed.into()),
+            ],
+        );
+        job.records.lock().unwrap()[index] = Some(record);
+        shared.stats.lock().unwrap().seeds_run += 1;
+        if job.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            finalize(shared, &job);
+        }
+    }
+    shared.inflight.fetch_sub(1, Ordering::SeqCst);
+    set_snap(shared, w, |s| {
+        s.busy = false;
+        s.job = None;
+        s.seed = None;
+        s.tasks_done += 1;
+    });
+}
+
+/// Aggregates the per-seed records into the job's result file —
+/// exactly [`astrx_oblx::oblx::synthesize_multi`]'s winner rule: lowest
+/// frozen-final cost, NaN last, ties to the earlier seed in the list.
+fn finalize(shared: &Shared<'_>, job: &RunningJob) {
+    let records = job.records.lock().unwrap();
+    let mut best: Option<(f64, usize)> = None;
+    for (i, rec) in records.iter().enumerate() {
+        let Some(rec) = rec else { continue };
+        if rec.failed {
+            continue;
+        }
+        let key = if rec.fixed_cost.is_nan() {
+            f64::INFINITY
+        } else {
+            rec.fixed_cost
+        };
+        if best.is_none_or(|(bk, _)| key < bk) {
+            best = Some((key, i));
+        }
+    }
+    let runs: Vec<Value> = records
+        .iter()
+        .flatten()
+        .map(|r| {
+            ObjBuilder::new()
+                .field("seed", jobs::u64_to_value(r.seed))
+                .field("fixed_cost", jobs::f64_to_value(r.fixed_cost))
+                .field("evaluations", r.evaluations)
+                .field("attempted", r.attempted)
+                .field("wall_seconds", r.wall_seconds)
+                .field("failed", r.failed)
+                .build()
+        })
+        .collect();
+    let mut record = ObjBuilder::new()
+        .field("format", "oblx-result")
+        .field("version", 1i64)
+        .field("id", job.file.id.as_str())
+        .field("name", job.file.request.name.as_str());
+    let status;
+    match best {
+        Some((_, i)) => {
+            let r = records[i].as_ref().expect("winner exists");
+            status = "ok";
+            record = record
+                .field("status", status)
+                .field("best_seed", jobs::u64_to_value(r.seed))
+                .field("fixed_cost", jobs::f64_to_value(r.fixed_cost))
+                .field("best_cost", jobs::f64_to_value(r.best_cost))
+                .field("kcl_max", jobs::f64_to_value(r.kcl_max))
+                .field(
+                    "state",
+                    ObjBuilder::new()
+                        .field(
+                            "user",
+                            Value::Arr(
+                                r.state
+                                    .user
+                                    .iter()
+                                    .map(|&v| jobs::f64_to_value(v))
+                                    .collect(),
+                            ),
+                        )
+                        .field(
+                            "nodes",
+                            Value::Arr(
+                                r.state
+                                    .nodes
+                                    .iter()
+                                    .map(|&v| jobs::f64_to_value(v))
+                                    .collect(),
+                            ),
+                        )
+                        .build(),
+                );
+        }
+        None => {
+            status = "failed";
+            record = record
+                .field("status", status)
+                .field("error", "every seed failed");
+        }
+    }
+    let record = record.field("runs", Value::Arr(runs)).build();
+    let _ = shared.spool.complete(&job.file.id, &record);
+    job.log.emit("done", &[("status", status.into())]);
+    let _ = std::fs::remove_dir_all(shared.spool.ckpt_dir(&job.file.id));
+    let mut stats = shared.stats.lock().unwrap();
+    if status == "ok" {
+        stats.jobs_completed += 1;
+    } else {
+        stats.jobs_failed += 1;
+    }
+}
+
+fn set_snap(shared: &Shared<'_>, w: usize, update: impl FnOnce(&mut WorkerSnap)) {
+    {
+        let mut snaps = shared.snaps.lock().unwrap();
+        update(&mut snaps[w]);
+    }
+    write_workers(shared);
+}
+
+fn write_workers(shared: &Shared<'_>) {
+    let snaps = shared.snaps.lock().unwrap();
+    let rows: Vec<Value> = snaps
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let mut b = ObjBuilder::new()
+                .field("worker", i)
+                .field("busy", s.busy)
+                .field("tasks_done", s.tasks_done);
+            if let Some(job) = &s.job {
+                b = b.field("job", job.as_str());
+            }
+            if let Some(seed) = s.seed {
+                b = b.field("seed", jobs::u64_to_value(seed));
+            }
+            b.build()
+        })
+        .collect();
+    let doc = ObjBuilder::new().field("workers", Value::Arr(rows)).build();
+    let _ = jobs::write_atomic(&shared.spool.workers_path(), &doc.to_json());
+}
+
+fn seed_done_path(ckdir: &Path, seed: u64) -> PathBuf {
+    ckdir.join(format!("seed_{seed}.done.json"))
+}
+
+fn seed_record_to_json(r: &SeedRecord) -> String {
+    ObjBuilder::new()
+        .field("format", "oblx-seed-result")
+        .field("version", 1i64)
+        .field("seed", jobs::u64_to_value(r.seed))
+        .field("fixed_cost", jobs::f64_to_value(r.fixed_cost))
+        .field("best_cost", jobs::f64_to_value(r.best_cost))
+        .field("kcl_max", jobs::f64_to_value(r.kcl_max))
+        .field("evaluations", r.evaluations)
+        .field("attempted", r.attempted)
+        .field("wall_seconds", jobs::f64_to_value(r.wall_seconds))
+        .field(
+            "user",
+            Value::Arr(
+                r.state
+                    .user
+                    .iter()
+                    .map(|&v| jobs::f64_to_value(v))
+                    .collect(),
+            ),
+        )
+        .field(
+            "nodes",
+            Value::Arr(
+                r.state
+                    .nodes
+                    .iter()
+                    .map(|&v| jobs::f64_to_value(v))
+                    .collect(),
+            ),
+        )
+        .field("failed", r.failed)
+        .build()
+        .to_json()
+}
+
+fn read_seed_done(ckdir: &Path, seed: u64) -> Option<SeedRecord> {
+    let text = std::fs::read_to_string(seed_done_path(ckdir, seed)).ok()?;
+    let v = astrx_oblx::json::parse(&text).ok()?;
+    if v.get("format")?.as_str()? != "oblx-seed-result" || v.get("version")?.as_int()? != 1 {
+        return None;
+    }
+    let bits = |key: &str| -> Option<f64> { jobs::f64_from_value(v.get(key)?).ok() };
+    let vec_bits = |key: &str| -> Option<Vec<f64>> {
+        v.get(key)?
+            .as_arr()?
+            .iter()
+            .map(|x| jobs::f64_from_value(x).ok())
+            .collect()
+    };
+    Some(SeedRecord {
+        seed: jobs::u64_from_value(v.get("seed")?).ok()?,
+        fixed_cost: bits("fixed_cost")?,
+        best_cost: bits("best_cost")?,
+        kcl_max: bits("kcl_max")?,
+        evaluations: usize::try_from(v.get("evaluations")?.as_int()?).ok()?,
+        attempted: usize::try_from(v.get("attempted")?.as_int()?).ok()?,
+        wall_seconds: bits("wall_seconds")?,
+        state: OblxState {
+            user: vec_bits("user")?,
+            nodes: vec_bits("nodes")?,
+        },
+        failed: v.get("failed")?.as_bool()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astrx_oblx::jobs::JobRequest;
+
+    const DIFFAMP: &str = include_str!("../../core/src/testdata/diffamp.ox");
+
+    fn temp_spool(tag: &str) -> Spool {
+        let root = std::env::temp_dir().join(format!(
+            "oblx-pool-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        Spool::open(root).unwrap()
+    }
+
+    fn small_job(name: &str, seeds: Vec<u64>) -> JobRequest {
+        JobRequest {
+            name: name.into(),
+            source: DIFFAMP.into(),
+            deck: String::new(),
+            options: SynthesisOptions {
+                moves_budget: 400,
+                quench_patience: 100,
+                ..SynthesisOptions::default()
+            },
+            seeds,
+            priority: 0,
+        }
+    }
+
+    #[test]
+    fn drains_queue_and_matches_synthesize_multi() {
+        let spool = temp_spool("drain");
+        let job = spool.submit(small_job("amp", vec![3, 4])).unwrap();
+        let stats = run(
+            &spool,
+            &PoolOptions {
+                workers: 2,
+                checkpoint_every: 100,
+                drain: true,
+            },
+            &AtomicBool::new(false),
+        );
+        assert_eq!(stats.jobs_completed, 1);
+        assert_eq!(stats.seeds_run, 2);
+        let record = spool.done(&job.id).unwrap();
+        assert_eq!(record.get("status").unwrap().as_str(), Some("ok"));
+
+        // The pool must pick the same winner as the in-process API.
+        let compiled = compile_job(&job.request).unwrap();
+        let multi =
+            astrx_oblx::synthesize_multi(&compiled, &job.request.options, &[3, 4], 1).unwrap();
+        assert_eq!(
+            jobs::u64_from_value(record.get("best_seed").unwrap()).unwrap(),
+            multi.best_seed
+        );
+        assert_eq!(
+            jobs::f64_from_value(record.get("fixed_cost").unwrap())
+                .unwrap()
+                .to_bits(),
+            fixed_cost(&compiled, &multi.best.state).to_bits()
+        );
+        std::fs::remove_dir_all(spool.root()).unwrap();
+    }
+
+    #[test]
+    fn compile_failure_fails_the_job() {
+        let spool = temp_spool("badjob");
+        let mut req = small_job("broken", vec![1]);
+        req.source = "not a netlist at all".into();
+        let job = spool.submit(req).unwrap();
+        let stats = run(
+            &spool,
+            &PoolOptions {
+                workers: 1,
+                checkpoint_every: 100,
+                drain: true,
+            },
+            &AtomicBool::new(false),
+        );
+        assert_eq!(stats.jobs_failed, 1);
+        let record = spool.done(&job.id).unwrap();
+        assert_eq!(record.get("status").unwrap().as_str(), Some("failed"));
+        std::fs::remove_dir_all(spool.root()).unwrap();
+    }
+
+    #[test]
+    fn interrupted_job_resumes_bit_identically_through_the_pool() {
+        let opts = PoolOptions {
+            workers: 1,
+            checkpoint_every: 50,
+            drain: true,
+        };
+        // Reference: the same job run uninterrupted in a fresh spool.
+        let reference = {
+            let spool = temp_spool("ref");
+            let job = spool.submit(small_job("amp", vec![7])).unwrap();
+            run(&spool, &opts, &AtomicBool::new(false));
+            let record = spool.done(&job.id).unwrap();
+            std::fs::remove_dir_all(spool.root()).unwrap();
+            record
+        };
+
+        // Interrupted run: cut a checkpoint at a known point (as a
+        // killed worker would leave behind), then let the pool pick the
+        // job up and resume it.
+        let spool = temp_spool("resume");
+        let job = spool.submit(small_job("amp", vec![7])).unwrap();
+        let compiled = compile_job(&job.request).unwrap();
+        let run_opts = SynthesisOptions {
+            seed: 7,
+            ..job.request.options.clone()
+        };
+        let ckdir = spool.ckpt_dir(&job.id);
+        std::fs::create_dir_all(&ckdir).unwrap();
+        let outcome = jobs::run_seed_resumable(&compiled, &run_opts, &ckdir, 50, |ck| {
+            if ck.engine.attempted >= 150 {
+                Directive::Stop
+            } else {
+                Directive::Continue
+            }
+        })
+        .unwrap();
+        assert!(matches!(outcome, SynthesisOutcome::Interrupted(_)));
+        assert!(jobs::checkpoint_path(&ckdir, 7).exists());
+
+        let stats = run(&spool, &opts, &AtomicBool::new(false));
+        assert_eq!(stats.jobs_completed, 1);
+        let resumed = spool.done(&job.id).unwrap();
+        for key in [
+            "status",
+            "best_seed",
+            "fixed_cost",
+            "best_cost",
+            "kcl_max",
+            "state",
+        ] {
+            assert_eq!(
+                resumed.get(key),
+                reference.get(key),
+                "field `{key}` differs between resumed and uninterrupted runs"
+            );
+        }
+        std::fs::remove_dir_all(spool.root()).unwrap();
+    }
+}

@@ -1,0 +1,314 @@
+//! The spool: a directory-backed, crash-safe job queue.
+//!
+//! Layout under the spool root:
+//!
+//! ```text
+//! queue/<id>.json      submitted jobs awaiting a worker
+//! running/<id>.json    jobs claimed by a worker
+//! done/<id>.json       result records (success or failure)
+//! ckpt/<id>/           per-seed checkpoints and seed-done records
+//! events/<id>.jsonl    per-job event logs (see crate::events)
+//! workers.json         live worker-state snapshot (written by the pool)
+//! seq                  submission sequence counter
+//! ```
+//!
+//! Every transition is a single atomic `rename`, so a crash at any
+//! instant leaves each job in exactly one well-defined place. A daemon
+//! restart calls [`Spool::recover`], which moves `running/` jobs back to
+//! `queue/`; their per-seed checkpoints under `ckpt/<id>/` make the
+//! re-run resume rather than restart.
+
+use astrx_oblx::jobs::{self, JobFile, JobRequest};
+use astrx_oblx::json::Value;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Handle to a spool directory.
+#[derive(Debug, Clone)]
+pub struct Spool {
+    root: PathBuf,
+}
+
+impl Spool {
+    /// Opens (creating if needed) a spool rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the directory tree.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Spool> {
+        let spool = Spool { root: root.into() };
+        for dir in [
+            spool.queue_dir(),
+            spool.running_dir(),
+            spool.done_dir(),
+            spool.events_dir(),
+            spool.ckpt_root(),
+        ] {
+            std::fs::create_dir_all(dir)?;
+        }
+        Ok(spool)
+    }
+
+    /// The spool root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// `queue/` — pending jobs.
+    pub fn queue_dir(&self) -> PathBuf {
+        self.root.join("queue")
+    }
+
+    /// `running/` — claimed jobs.
+    pub fn running_dir(&self) -> PathBuf {
+        self.root.join("running")
+    }
+
+    /// `done/` — result records.
+    pub fn done_dir(&self) -> PathBuf {
+        self.root.join("done")
+    }
+
+    /// `events/` — per-job JSONL logs.
+    pub fn events_dir(&self) -> PathBuf {
+        self.root.join("events")
+    }
+
+    fn ckpt_root(&self) -> PathBuf {
+        self.root.join("ckpt")
+    }
+
+    /// `ckpt/<id>/` — the checkpoint directory of one job.
+    pub fn ckpt_dir(&self, id: &str) -> PathBuf {
+        self.ckpt_root().join(id)
+    }
+
+    /// Path of the live worker-state snapshot.
+    pub fn workers_path(&self) -> PathBuf {
+        self.root.join("workers.json")
+    }
+
+    /// Submits a job: assigns an id and sequence number and writes it
+    /// into `queue/` atomically (via [`jobs::spool_submit`], the same
+    /// protocol thin clients use). Returns the stored [`JobFile`].
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error.
+    pub fn submit(&self, request: JobRequest) -> io::Result<JobFile> {
+        jobs::spool_submit(&self.root, request)
+    }
+
+    fn read_jobs(dir: &Path) -> Vec<JobFile> {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                if let Ok(job) = jobs::job_from_json(&text) {
+                    out.push(job);
+                }
+            }
+        }
+        out.sort_by(|a, b| {
+            b.request
+                .priority
+                .cmp(&a.request.priority)
+                .then(a.seq.cmp(&b.seq))
+        });
+        out
+    }
+
+    /// Pending jobs, in claim order (priority desc, then FIFO).
+    pub fn pending(&self) -> Vec<JobFile> {
+        Self::read_jobs(&self.queue_dir())
+    }
+
+    /// Jobs currently claimed by workers.
+    pub fn running(&self) -> Vec<JobFile> {
+        Self::read_jobs(&self.running_dir())
+    }
+
+    /// Claims the highest-priority pending job by renaming it into
+    /// `running/`. The rename is the arbitration point: when several
+    /// workers race, exactly one rename succeeds and the losers move on
+    /// to the next candidate.
+    pub fn claim_next(&self) -> Option<JobFile> {
+        for job in self.pending() {
+            let from = self.queue_dir().join(format!("{}.json", job.id));
+            let to = self.running_dir().join(format!("{}.json", job.id));
+            if std::fs::rename(&from, &to).is_ok() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Moves every `running/` job back into `queue/` — called once at
+    /// daemon startup to recover jobs orphaned by a crash. Returns the
+    /// recovered ids.
+    pub fn recover(&self) -> Vec<String> {
+        let mut recovered = Vec::new();
+        for job in self.running() {
+            let from = self.running_dir().join(format!("{}.json", job.id));
+            let to = self.queue_dir().join(format!("{}.json", job.id));
+            if std::fs::rename(&from, &to).is_ok() {
+                recovered.push(job.id);
+            }
+        }
+        recovered
+    }
+
+    /// Records a finished job: writes the result record into `done/`
+    /// and drops the `running/` entry.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error writing the record.
+    pub fn complete(&self, id: &str, record: &Value) -> io::Result<()> {
+        let path = self.done_dir().join(format!("{id}.json"));
+        jobs::write_atomic(&path, &record.to_json())?;
+        let _ = std::fs::remove_file(self.running_dir().join(format!("{id}.json")));
+        Ok(())
+    }
+
+    /// Reads the result record of a finished job, if any.
+    pub fn done(&self, id: &str) -> Option<Value> {
+        let text = std::fs::read_to_string(self.done_dir().join(format!("{id}.json"))).ok()?;
+        astrx_oblx::json::parse(&text).ok()
+    }
+
+    /// Ids of all finished jobs.
+    pub fn done_ids(&self) -> Vec<String> {
+        let Ok(entries) = std::fs::read_dir(self.done_dir()) else {
+            return Vec::new();
+        };
+        let mut ids: Vec<String> = entries
+            .flatten()
+            .filter_map(|e| {
+                let p = e.path();
+                if p.extension().and_then(|x| x.to_str()) == Some("json") {
+                    p.file_stem().map(|s| s.to_string_lossy().into_owned())
+                } else {
+                    None
+                }
+            })
+            .collect();
+        ids.sort();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astrx_oblx::SynthesisOptions;
+
+    fn req(name: &str, priority: i64) -> JobRequest {
+        JobRequest {
+            name: name.into(),
+            source: ".end\n".into(),
+            deck: String::new(),
+            options: SynthesisOptions::default(),
+            seeds: vec![1],
+            priority,
+        }
+    }
+
+    fn temp_spool(tag: &str) -> Spool {
+        let root = std::env::temp_dir().join(format!(
+            "oblx-spool-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        Spool::open(root).unwrap()
+    }
+
+    #[test]
+    fn claim_order_is_priority_then_fifo() {
+        let spool = temp_spool("order");
+        spool.submit(req("low-early", 0)).unwrap();
+        spool.submit(req("high", 5)).unwrap();
+        spool.submit(req("low-late", 0)).unwrap();
+        let order: Vec<String> = std::iter::from_fn(|| spool.claim_next())
+            .map(|j| j.request.name)
+            .collect();
+        assert_eq!(order, ["high", "low-early", "low-late"]);
+        assert_eq!(spool.pending().len(), 0);
+        assert_eq!(spool.running().len(), 3);
+        std::fs::remove_dir_all(spool.root()).unwrap();
+    }
+
+    #[test]
+    fn recover_requeues_running_jobs() {
+        let spool = temp_spool("recover");
+        spool.submit(req("a", 0)).unwrap();
+        let job = spool.claim_next().unwrap();
+        assert!(spool.pending().is_empty());
+        let recovered = spool.recover();
+        assert_eq!(recovered, std::slice::from_ref(&job.id));
+        assert_eq!(spool.pending().len(), 1);
+        assert!(spool.running().is_empty());
+        std::fs::remove_dir_all(spool.root()).unwrap();
+    }
+
+    #[test]
+    fn complete_moves_job_to_done() {
+        let spool = temp_spool("complete");
+        spool.submit(req("a", 0)).unwrap();
+        let job = spool.claim_next().unwrap();
+        let record = astrx_oblx::json::ObjBuilder::new()
+            .field("status", "ok")
+            .build();
+        spool.complete(&job.id, &record).unwrap();
+        assert!(spool.running().is_empty());
+        assert_eq!(spool.done_ids(), std::slice::from_ref(&job.id));
+        assert_eq!(
+            spool.done(&job.id).unwrap().get("status").unwrap().as_str(),
+            Some("ok")
+        );
+        std::fs::remove_dir_all(spool.root()).unwrap();
+    }
+
+    #[test]
+    fn corrupt_queue_files_are_skipped() {
+        let spool = temp_spool("corrupt");
+        spool.submit(req("good", 0)).unwrap();
+        std::fs::write(spool.queue_dir().join("torn.json"), "{\"format\":").unwrap();
+        let jobs = spool.pending();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].request.name, "good");
+        std::fs::remove_dir_all(spool.root()).unwrap();
+    }
+
+    #[test]
+    fn sequence_numbers_are_unique_across_threads() {
+        let spool = temp_spool("seq");
+        let mut ids: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let spool = spool.clone();
+                    scope.spawn(move || {
+                        (0..5)
+                            .map(|_| spool.submit(req("x", 0)).unwrap().id)
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 20, "all submissions got distinct ids");
+        std::fs::remove_dir_all(spool.root()).unwrap();
+    }
+}

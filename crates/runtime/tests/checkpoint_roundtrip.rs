@@ -1,0 +1,120 @@
+//! Property tests for the checkpoint serialization contract: a
+//! checkpoint cut at any point, serialized to JSON, parsed back, and
+//! resumed must finish **bit-identically** to the uninterrupted run —
+//! and a damaged checkpoint must be rejected, never mis-parsed.
+
+use astrx_oblx::jobs::{checkpoint_from_json, checkpoint_to_json};
+use astrx_oblx::oblx::synthesize_controlled;
+use astrx_oblx::{synthesize, CompiledProblem, SynthesisOptions, SynthesisOutcome};
+use oblx_anneal::Directive;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const DIFFAMP: &str = include_str!("../../core/src/testdata/diffamp.ox");
+
+fn compiled() -> &'static CompiledProblem {
+    static COMPILED: OnceLock<CompiledProblem> = OnceLock::new();
+    COMPILED.get_or_init(|| astrx_oblx::compile_source(DIFFAMP).unwrap())
+}
+
+fn opts(seed: u64) -> SynthesisOptions {
+    SynthesisOptions {
+        moves_budget: 400,
+        quench_patience: 100,
+        trace_every: 50,
+        seed,
+        ..SynthesisOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// serialize → parse → continue ≡ never interrupted, for a random
+    /// seed and a random interrupt point.
+    #[test]
+    fn prop_roundtripped_checkpoint_resumes_bit_identically(
+        seed in 1u64..64,
+        stop_at in 25usize..380,
+    ) {
+        let compiled = compiled();
+        let opts = opts(seed);
+        let reference = synthesize(compiled, &opts).unwrap();
+
+        // Cut at the first checkpoint at or after `stop_at` proposals.
+        let outcome = synthesize_controlled(compiled, &opts, None, 25, |ck| {
+            if ck.engine.attempted >= stop_at {
+                Directive::Stop
+            } else {
+                Directive::Continue
+            }
+        })
+        .unwrap();
+        let SynthesisOutcome::Interrupted(ck) = outcome else {
+            panic!("run completed before proposal {stop_at}");
+        };
+
+        // The JSON codec is the identity on checkpoints: serializing
+        // the parsed checkpoint reproduces the bytes.
+        let text = checkpoint_to_json(&ck);
+        let parsed = checkpoint_from_json(&text).unwrap();
+        prop_assert_eq!(&text, &checkpoint_to_json(&parsed));
+
+        // Continuing from the parsed checkpoint matches the reference
+        // bit for bit.
+        let resumed = match synthesize_controlled(compiled, &opts, Some(&parsed), 0, |_| {
+            Directive::Continue
+        })
+        .unwrap()
+        {
+            SynthesisOutcome::Complete(r) => *r,
+            SynthesisOutcome::Interrupted(_) => panic!("resume cannot stop: no hook"),
+        };
+        prop_assert_eq!(resumed.best_cost.to_bits(), reference.best_cost.to_bits());
+        prop_assert_eq!(&resumed.state, &reference.state);
+        prop_assert_eq!(resumed.attempted, reference.attempted);
+        prop_assert_eq!(resumed.evaluations, reference.evaluations);
+        prop_assert_eq!(resumed.kcl_max.to_bits(), reference.kcl_max.to_bits());
+        prop_assert_eq!(resumed.trace.points.len(), reference.trace.points.len());
+        for (a, b) in resumed.measured.iter().zip(reference.measured.iter()) {
+            prop_assert_eq!(&a.0, &b.0);
+            prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+
+    /// A checkpoint truncated anywhere is rejected cleanly (the loader
+    /// treats it as "no checkpoint"), never mis-parsed or panicking.
+    #[test]
+    fn prop_truncated_checkpoints_are_rejected(
+        seed in 1u64..16,
+        cut_permille in 1usize..999,
+    ) {
+        let compiled = compiled();
+        let outcome = synthesize_controlled(compiled, &opts(seed), None, 25, |_| {
+            Directive::Stop
+        })
+        .unwrap();
+        let SynthesisOutcome::Interrupted(ck) = outcome else {
+            panic!("first checkpoint must interrupt");
+        };
+        let text = checkpoint_to_json(&ck);
+        let mut cut = text.len() * cut_permille / 1000;
+        while cut > 0 && !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        prop_assert!(checkpoint_from_json(&text[..cut]).is_err());
+    }
+}
+
+/// A checkpoint from a future format version is refused outright
+/// (strict versioning rule), not half-read.
+#[test]
+fn foreign_version_is_refused() {
+    let compiled = compiled();
+    let outcome = synthesize_controlled(compiled, &opts(3), None, 25, |_| Directive::Stop).unwrap();
+    let SynthesisOutcome::Interrupted(ck) = outcome else {
+        panic!("first checkpoint must interrupt");
+    };
+    let text = checkpoint_to_json(&ck).replacen("\"version\":1", "\"version\":2", 1);
+    assert!(checkpoint_from_json(&text).is_err());
+}

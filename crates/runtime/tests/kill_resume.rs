@@ -1,0 +1,138 @@
+//! Kill-and-resume integration test: SIGKILL an `oblxd` worker process
+//! mid-job, restart the daemon over the same spool, and require the job
+//! to complete from its last checkpoint with a result **bit-identical**
+//! to an uninterrupted run. This exercises the whole stack end to end:
+//! spool claim/recover, torn-write protection (temp + atomic rename),
+//! checkpoint restore, and the deterministic winner rule.
+
+use astrx_oblx::json::Value;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const DIFFAMP: &str = include_str!("../../core/src/testdata/diffamp.ox");
+
+fn oblxd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_oblxd"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("oblx-kill-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn submit(spool: &Path, ox: &Path) -> String {
+    let out = oblxd()
+        .args(["submit", "--dir"])
+        .arg(spool)
+        .arg(ox)
+        .args(["--seeds", "5", "--moves", "8000", "--name", "killme"])
+        .output()
+        .expect("oblxd submit runs");
+    assert!(
+        out.status.success(),
+        "submit failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap().trim().to_string()
+}
+
+fn run_drain(spool: &Path) {
+    let status = oblxd()
+        .args(["run", "--dir"])
+        .arg(spool)
+        .args(["--drain", "--workers", "1", "--checkpoint-interval", "200"])
+        .stdout(Stdio::null())
+        .status()
+        .expect("oblxd run runs");
+    assert!(status.success(), "drain run failed");
+}
+
+fn done_record(spool: &Path, id: &str) -> Option<Value> {
+    let text = std::fs::read_to_string(spool.join("done").join(format!("{id}.json"))).ok()?;
+    astrx_oblx::json::parse(&text).ok()
+}
+
+#[test]
+fn sigkilled_daemon_resumes_to_a_bit_identical_result() {
+    let dir = temp_dir("spools");
+    let ox = dir.join("diffamp.ox");
+    std::fs::write(&ox, DIFFAMP).unwrap();
+
+    // Reference: the same job drained without interruption.
+    let ref_spool = dir.join("reference");
+    let ref_id = submit(&ref_spool, &ox);
+    run_drain(&ref_spool);
+    let reference = done_record(&ref_spool, &ref_id).expect("reference job completed");
+    assert_eq!(reference.get("status").unwrap().as_str(), Some("ok"));
+
+    // Victim: start a daemon, wait for the first on-disk checkpoint,
+    // then SIGKILL it (`Child::kill` is SIGKILL on Unix — no chance to
+    // clean up, exactly like a node dying).
+    let spool = dir.join("victim");
+    let id = submit(&spool, &ox);
+    let mut child = oblxd()
+        .args(["run", "--dir"])
+        .arg(&spool)
+        .args(["--drain", "--workers", "1", "--checkpoint-interval", "200"])
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("oblxd run spawns");
+    let ckpt = spool.join("ckpt").join(&id).join("seed_5.ckpt.json");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !ckpt.exists() {
+        assert!(
+            Instant::now() < deadline,
+            "no checkpoint appeared within 60 s"
+        );
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            panic!("daemon exited early ({status}) — job finished before the kill");
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().expect("SIGKILL delivered");
+    let _ = child.wait();
+    assert!(
+        done_record(&spool, &id).is_none(),
+        "job must not be done yet — the kill landed mid-run"
+    );
+    assert!(
+        spool.join("running").join(format!("{id}.json")).exists(),
+        "killed job stays claimed until recovery"
+    );
+
+    // Restart over the same spool: recovery requeues the orphaned job
+    // and the checkpoint makes the rerun a resume.
+    run_drain(&spool);
+    let resumed = done_record(&spool, &id).expect("resumed job completed");
+    for key in [
+        "status",
+        "best_seed",
+        "fixed_cost",
+        "best_cost",
+        "kcl_max",
+        "state",
+    ] {
+        assert_eq!(
+            resumed.get(key),
+            reference.get(key),
+            "field `{key}` differs between resumed and uninterrupted runs"
+        );
+    }
+
+    // The event log tells the story: a recovery happened and the job
+    // still finished exactly once.
+    let events = std::fs::read_to_string(spool.join("events").join(format!("{id}.jsonl"))).unwrap();
+    let kinds: Vec<String> = astrx_oblx::json::parse_lines(&events)
+        .iter()
+        .filter_map(|e| e.get("event").and_then(Value::as_str).map(str::to_string))
+        .collect();
+    assert!(
+        kinds.iter().any(|k| k == "recovered"),
+        "recovered event logged"
+    );
+    assert_eq!(kinds.iter().filter(|k| *k == "done").count(), 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
