@@ -196,6 +196,7 @@ impl MoveStats {
     /// Records an attempt outcome; periodically re-balances
     /// probabilities (Hustin quality) and per-class ranges.
     pub fn record(&mut self, class: usize, accepted: bool, delta_cost: f64) {
+        oblx_telemetry::move_result(class, accepted);
         let c = &mut self.classes[class];
         c.attempts += 1;
         c.total_attempts += 1;

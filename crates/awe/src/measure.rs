@@ -21,8 +21,16 @@ pub fn gain_at(model: &ReducedModel, f: f64) -> f64 {
 /// Returns 0 when the dc gain is already ≤ 1, and `1e12` when no
 /// crossing is found below a THz (an effectively-unbounded response —
 /// the cost function treats it as "very fast").
+///
+/// A *pole-free* model (the `constant(µ0)` fit fallback, or a model
+/// whose every pole was dropped as non-finite) carries no frequency
+/// information at all, so it returns 0 rather than 1e12: "no pole
+/// found" must never be scored as "infinitely fast circuit".
 pub fn unity_gain_frequency(model: &ReducedModel) -> f64 {
     const F_MAX: f64 = 1.0e12;
+    if model.poles().is_empty() {
+        return 0.0;
+    }
     if model.dc_gain() <= 1.0 {
         return 0.0;
     }

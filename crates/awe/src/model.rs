@@ -40,11 +40,19 @@ pub struct ReducedModel {
     mu0: f64,
     moments: Vec<f64>,
     q: usize,
+    dropped: usize,
 }
 
 impl ReducedModel {
     /// Builds a model from fitted poles/residues, the exact `µ₀`, and
     /// the raw moment record.
+    ///
+    /// Pole/residue pairs with a non-finite component are **dropped**
+    /// here — before any measurement can consume them — and counted in
+    /// [`ReducedModel::dropped`]. A model that lost poles this way is
+    /// reported unstable by [`ReducedModel::is_stable`]: its frequency
+    /// response is not trustworthy even if the surviving poles look
+    /// benign.
     pub(crate) fn new(
         poles: Vec<Complex>,
         residues: Vec<Complex>,
@@ -52,12 +60,25 @@ impl ReducedModel {
         moments: Vec<f64>,
         q: usize,
     ) -> Self {
+        let total = poles.len();
+        let (poles, residues): (Vec<Complex>, Vec<Complex>) = poles
+            .into_iter()
+            .zip(residues)
+            .filter(|(p, k)| {
+                p.re.is_finite() && p.im.is_finite() && k.re.is_finite() && k.im.is_finite()
+            })
+            .unzip();
+        let dropped = total - poles.len();
+        if dropped > 0 {
+            oblx_telemetry::add(oblx_telemetry::Counter::AweDroppedPoles, dropped as u64);
+        }
         ReducedModel {
             poles,
             residues,
             mu0,
             moments,
             q,
+            dropped,
         }
     }
 
@@ -69,6 +90,7 @@ impl ReducedModel {
             mu0: value,
             moments: vec![value],
             q: 0,
+            dropped: 0,
         }
     }
 
@@ -142,20 +164,26 @@ impl ReducedModel {
         self.poles
             .iter()
             .copied()
-            .min_by(|a, b| a.re.abs().partial_cmp(&b.re.abs()).expect("finite poles"))
+            .min_by(|a, b| a.re.abs().total_cmp(&b.re.abs()))
     }
 
     /// The k-th pole sorted by ascending magnitude (1-based, as in the
     /// `pole(tf, k)` specification function). `None` when out of range.
     pub fn pole(&self, k: usize) -> Option<Complex> {
         let mut sorted = self.poles.clone();
-        sorted.sort_by(|a, b| a.norm().partial_cmp(&b.norm()).expect("finite poles"));
+        sorted.sort_by(|a, b| a.norm().total_cmp(&b.norm()));
         sorted.get(k.checked_sub(1)?).copied()
     }
 
-    /// `true` when every pole lies strictly in the left half-plane.
+    /// Number of non-finite pole/residue pairs discarded at construction.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// `true` when every pole lies strictly in the left half-plane *and*
+    /// no pole was dropped as non-finite during construction.
     pub fn is_stable(&self) -> bool {
-        self.poles.iter().all(|p| p.re < 0.0)
+        self.dropped == 0 && self.poles.iter().all(|p| p.re < 0.0)
     }
 
     /// The transfer function's zeros: roots of the numerator polynomial
@@ -196,7 +224,7 @@ impl ReducedModel {
     /// `pole(tf, k)`), or `None` when out of range.
     pub fn zero(&self, k: usize) -> Option<Complex> {
         let mut z = self.zeros();
-        z.sort_by(|a, b| a.norm().partial_cmp(&b.norm()).expect("finite zeros"));
+        z.sort_by(|a, b| a.norm().total_cmp(&b.norm()));
         z.get(k.checked_sub(1)?).copied()
     }
 }
@@ -316,6 +344,23 @@ mod tests {
         let z = m.zeros();
         assert_eq!(z.len(), 1);
         assert!((z[0] - Complex::from_real(8.0)).norm() < 1e-9, "{z:?}");
+    }
+
+    #[test]
+    fn non_finite_poles_are_dropped_and_flagged() {
+        let m = ReducedModel::new(
+            vec![Complex::from_real(-100.0), Complex::new(f64::NAN, 0.0)],
+            vec![Complex::from_real(1.0), Complex::from_real(1.0)],
+            1.0,
+            vec![],
+            2,
+        );
+        assert_eq!(m.poles().len(), 1);
+        assert_eq!(m.dropped(), 1);
+        assert!(!m.is_stable(), "a model that lost poles is not trustworthy");
+        // The old comparator panicked on NaN; these must stay total.
+        assert_eq!(m.dominant_pole().unwrap().re, -100.0);
+        assert_eq!(m.pole(1).unwrap().re, -100.0);
     }
 
     #[test]

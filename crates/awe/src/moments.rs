@@ -281,7 +281,8 @@ fn analyze_from_moments(
     max_q: usize,
     mm: Moments,
 ) -> Result<ReducedModel, AweError> {
-    let base = fit_model(&mm.mu, max_q)?;
+    let _span = oblx_telemetry::span(oblx_telemetry::SpanKind::AweAnalyze);
+    let base = guard_model(fit_model(&mm.mu, max_q)?)?;
 
     // When the unity-gain crossing sits far above the dominant pole,
     // the poles governing the crossing are numerically invisible in
@@ -292,7 +293,11 @@ fn analyze_from_moments(
     // matches the exact response there. The dc value stays pinned to
     // the exact µ0 either way.
     let f_cross = crate::measure::unity_gain_frequency(&base);
-    let dominant = base.dominant_pole().map(|p| p.norm()).unwrap_or(0.0);
+    // A pole-free model (guarded above, so a genuinely static transfer
+    // function rather than a failed fit) has nothing to re-expand.
+    let Some(dominant) = base.dominant_pole().map(|p| p.norm()) else {
+        return Ok(base);
+    };
     let w_cross = 2.0 * std::f64::consts::PI * f_cross;
     if f_cross <= 0.0 || f_cross >= 1.0e12 || dominant <= 0.0 || w_cross < 100.0 * dominant {
         return Ok(base);
@@ -313,13 +318,38 @@ fn analyze_from_moments(
             let consistent = (h0.re - mu0).abs() <= 0.2 * mu0.abs().max(1e-12)
                 && h0.im.abs() <= 0.05 * mu0.abs().max(1e-12);
             if consistent && shifted.is_stable() {
+                oblx_telemetry::incr(oblx_telemetry::Counter::AweShiftApplied);
                 Ok(shifted)
             } else {
+                oblx_telemetry::incr(oblx_telemetry::Counter::AweShiftRejected);
                 Ok(base)
             }
         }
-        Err(_) => Ok(base),
+        Err(_) => {
+            oblx_telemetry::incr(oblx_telemetry::Counter::AweShiftRejected);
+            Ok(base)
+        }
     }
+}
+
+/// Rejects models with no trustworthy pole content: either every fitted
+/// pole was dropped as non-finite during sanitization, or every retained
+/// pole sits in the right half-plane — a response that is pure
+/// exponential growth, whose `|H(jω)|` would otherwise alias onto a
+/// healthy-looking bandwidth in the cost evaluator. A *partially* RHP
+/// model is kept (phase margin and stability measures grade it) but
+/// counted as unstable.
+fn guard_model(model: ReducedModel) -> Result<ReducedModel, AweError> {
+    let all_rhp = !model.poles().is_empty() && model.poles().iter().all(|p| p.re >= 0.0);
+    let lost_all = model.poles().is_empty() && model.dropped() > 0;
+    if all_rhp || lost_all {
+        oblx_telemetry::incr(oblx_telemetry::Counter::AweNoModel);
+        return Err(AweError::NoModel);
+    }
+    if !model.is_stable() {
+        oblx_telemetry::incr(oblx_telemetry::Counter::AweUnstable);
+    }
+    Ok(model)
 }
 
 /// Builds a reduced model from moments expanded about the real shift
@@ -403,10 +433,25 @@ fn analyze_shifted_with(
 ///
 /// # Errors
 ///
-/// Currently infallible (degenerate sequences yield forced one-pole or
-/// constant models); the `Result` is kept for future guarded modes.
+/// [`AweError::NoModel`] when any moment is non-finite — the recurrence
+/// itself produced garbage and nothing fitted from it can be trusted.
+/// When the moments are finite but no order fits, the fallback chain is
+/// the forced one-pole estimate, then a pole-free `constant(µ0)` model
+/// (counted as `awe_constant`); degenerate cut-off states must stay
+/// *gradable* so `C^dev` can anneal them out. The bandwidth measures
+/// treat pole-free models pessimistically (no frequency information ⇒
+/// no unity crossing), so the constant fallback can never silently
+/// report a speed spec as met.
 pub fn fit_model(mu: &[f64], max_q: usize) -> Result<ReducedModel, AweError> {
+    oblx_telemetry::incr(oblx_telemetry::Counter::AweFit);
     let mu0 = mu.first().copied().unwrap_or(0.0);
+
+    // Non-finite moments mean the recurrence itself overflowed or hit
+    // garbage; nothing fitted from them can be trusted.
+    if !mu.iter().all(|m| m.is_finite()) {
+        oblx_telemetry::incr(oblx_telemetry::Counter::AweNoModel);
+        return Err(AweError::NoModel);
+    }
 
     // A transfer function that is zero to machine precision: model as a
     // constant zero.
@@ -464,6 +509,7 @@ pub fn fit_model(mu: &[f64], max_q: usize) -> Result<ReducedModel, AweError> {
             // Un-scale: p = p'·ω₀, k = k'·ω₀ (residues scale with s).
             let poles: Vec<Complex> = poles_s.iter().map(|&p| p * omega0).collect();
             let residues: Vec<Complex> = resid_s.iter().map(|&r| r * omega0).collect();
+            oblx_telemetry::record_fit_order(q);
             Ok(ReducedModel::new(poles, residues, mu0, mu.to_vec(), q))
         }
         None => {
@@ -475,9 +521,16 @@ pub fn fit_model(mu: &[f64], max_q: usize) -> Result<ReducedModel, AweError> {
             if mu.len() >= 2 && mu[0] != 0.0 && mu[1] != 0.0 && (mu[0] / mu[1]).is_finite() {
                 let p = Complex::from_real(mu[0] / mu[1]);
                 let k = -(p * mu0);
+                oblx_telemetry::incr(oblx_telemetry::Counter::AweForcedOnePole);
                 return Ok(ReducedModel::new(vec![p], vec![k], mu0, mu.to_vec(), 1));
             }
-            // No usable first-order information at all: a dc-only model.
+            // Nothing fits at all (µ0 or µ1 is exactly zero — typical
+            // of cut-off states with a capacitively-decoupled output):
+            // a pole-free dc-only model. The bandwidth measures treat
+            // pole-free models as carrying *no* frequency information
+            // (no unity crossing), so this fallback grades
+            // pessimistically instead of reading as infinitely fast.
+            oblx_telemetry::incr(oblx_telemetry::Counter::AweConstant);
             Ok(ReducedModel::constant(mu0))
         }
     }

@@ -10,6 +10,7 @@
 //! astrx submit (<file.ox>|--bench NAME) --spool DIR
 //!              [--seeds …] [--moves N] [--priority P] [--name NAME]
 //! astrx jobs --spool DIR                    list an oblxd spool
+//! astrx profile [<file.ox>|--bench NAME] [--moves N] [--seed S] [--json]
 //! ```
 //!
 //! `--seeds` takes either a count (`--seeds 8` runs seeds 1..=8) or an
@@ -39,6 +40,9 @@ const USAGE: &str = "usage:
   astrx submit (<file.ox> | --bench NAME) --spool DIR
                [--seeds N|a,b,c] [--moves N] [--priority P] [--name NAME]
   astrx jobs --spool DIR
+  astrx profile [<file.ox> | --bench NAME] [--moves N] [--seed S] [--json]
+               (default: the Two-Stage benchmark; prints the telemetry
+                report — accept rates, cost terms, AWE/LU health)
 
 options:
   --checkpoint-dir DIR       snapshot each per-seed run's full annealing
@@ -86,6 +90,7 @@ fn main() -> ExitCode {
         }
         "submit" => cmd_submit(&rest),
         "jobs" => cmd_jobs(&rest),
+        "profile" => cmd_profile(&rest),
         _ => usage(),
     }
 }
@@ -219,6 +224,18 @@ fn cmd_submit(rest: &[&String]) -> ExitCode {
             .and_then(|s| s.parse().ok())
             .unwrap_or(0),
     };
+    // Validate before spooling: a malformed deck is the submitter's
+    // error and should be rejected here with line/column diagnostics,
+    // not discovered later by an oblxd worker. Benchmark submissions
+    // carry a process-deck label only the daemon can resolve, so only
+    // plain-file sources are compiled here — which is exactly the
+    // untrusted path.
+    if request.deck.is_empty() {
+        if let Err(e) = astrx_oblx::astrx::compile_source(&request.source) {
+            eprintln!("error: {}: {e}", request.name);
+            return ExitCode::FAILURE;
+        }
+    }
     match jobs::spool_submit(Path::new(spool), request) {
         Ok(job) => {
             println!("{}", job.id);
@@ -292,6 +309,85 @@ fn cmd_jobs(rest: &[&String]) -> ExitCode {
                 get("status")
             );
         }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `astrx profile` — runs one synthesis with telemetry enabled and
+/// prints the recorded report: per-move-class accept rates, cost-term
+/// breakdown, AWE fit/instability counts, LU conditioning, and eval
+/// latency histograms. `--json` emits the snapshot as one JSON object
+/// (the same schema `oblxd` appends to `events/metrics.jsonl`).
+fn cmd_profile(rest: &[&String]) -> ExitCode {
+    let compiled = if let Some(name) = opt(rest, "--bench") {
+        let Some(b) = bench_suite::by_name(name) else {
+            eprintln!("error: unknown benchmark `{name}` — try `astrx list`");
+            return ExitCode::FAILURE;
+        };
+        match b
+            .problem()
+            .map_err(|e| e.to_string())
+            .and_then(|p| astrx_oblx::astrx::compile(p).map_err(|e| e.to_string()))
+        {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if rest.iter().enumerate().any(|(i, a)| {
+        let is_opt_value = i > 0 && rest[i - 1].starts_with("--");
+        !a.starts_with("--") && !is_opt_value
+    }) {
+        match load(rest) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        // The paper's flagship circuit makes a representative default.
+        let b = bench_suite::by_name("Two-Stage").expect("built-in benchmark");
+        match b
+            .problem()
+            .map_err(|e| e.to_string())
+            .and_then(|p| astrx_oblx::astrx::compile(p).map_err(|e| e.to_string()))
+        {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let moves: usize = opt(rest, "--moves")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let seed: u64 = opt(rest, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    oblx_telemetry::reset();
+    oblx_telemetry::set_enabled(true);
+    let opts = SynthesisOptions {
+        moves_budget: moves,
+        seed,
+        ..SynthesisOptions::default()
+    };
+    let outcome = astrx_oblx::oblx::synthesize(&compiled, &opts);
+    oblx_telemetry::set_enabled(false);
+    let snap = oblx_telemetry::Snapshot::capture();
+    if flag(rest, "--json") {
+        println!("{}", snap.to_json());
+    } else {
+        match &outcome {
+            Ok(r) => println!(
+                "profiled {} moves, seed {}: final cost {:.3}, kcl {:.2e} A\n",
+                moves, seed, r.breakdown.total, r.kcl_max
+            ),
+            Err(e) => println!("profiled {moves} moves, seed {seed}: run failed ({e})\n"),
+        }
+        print!("{}", snap.render());
     }
     ExitCode::SUCCESS
 }

@@ -587,14 +587,26 @@ impl<'a> CostEvaluator<'a> {
         node_values: &[f64],
         weights: &AdaptiveWeights,
     ) -> Result<CostBreakdown, EvalFailure> {
-        if self.plan.is_none() {
+        let _span = oblx_telemetry::span(oblx_telemetry::SpanKind::CostEval);
+        let result = if self.plan.is_none() {
             self.stats.cold += 1;
-            let record = self.record(user_values, node_values)?;
-            return self.cost_of_record(&record, weights);
+            oblx_telemetry::incr(oblx_telemetry::Counter::EvalCold);
+            self.record(user_values, node_values)
+                .and_then(|record| self.cost_of_record(&record, weights))
+        } else {
+            let result = self.plan_evaluate(user_values, node_values, weights);
+            #[cfg(debug_assertions)]
+            self.cross_check(user_values, node_values, weights, &result);
+            result
+        };
+        if oblx_telemetry::enabled() {
+            match &result {
+                Ok(b) if !b.failed => {
+                    oblx_telemetry::record_cost_terms(b.c_obj, b.c_perf, b.c_dev, b.c_dc);
+                }
+                _ => oblx_telemetry::incr(oblx_telemetry::Counter::EvalFailure),
+            }
         }
-        let result = self.plan_evaluate(user_values, node_values, weights);
-        #[cfg(debug_assertions)]
-        self.cross_check(user_values, node_values, weights, &result);
         result
     }
 
@@ -622,6 +634,7 @@ impl<'a> CostEvaluator<'a> {
         if let Some(slot) = slots.iter_mut().find(|s| s.matches(user, nodes)) {
             slot.stamp = *clock;
             stats.cached += 1;
+            oblx_telemetry::incr(oblx_telemetry::Counter::EvalCached);
             return score_slot(compiled, plan, slot, weights, user);
         }
         // Victim: a failed slot first (nothing in it is reusable),
@@ -645,9 +658,11 @@ impl<'a> CostEvaluator<'a> {
         slot.stamp = *clock;
         if slot.can_increment(plan, user, nodes) {
             stats.incremental += 1;
+            oblx_telemetry::incr(oblx_telemetry::Counter::EvalIncremental);
             slot.update_incremental(plan, user, nodes)?;
         } else {
             stats.full += 1;
+            oblx_telemetry::incr(oblx_telemetry::Counter::EvalFull);
             slot.update_full(plan, user, nodes)?;
         }
         score_slot(compiled, plan, slot, weights, user)

@@ -164,11 +164,26 @@ pub mod move_class {
     pub const USER_WITH_NEWTON: usize = 6;
     /// Number of classes.
     pub const COUNT: usize = 7;
+
+    /// Human-readable class names, indexed by class constant (used by
+    /// telemetry snapshots and diagnostics).
+    pub const NAMES: [&str; COUNT] = [
+        "user_single",
+        "user_multi",
+        "node_single",
+        "node_all",
+        "newton_full",
+        "newton_partial",
+        "user_with_newton",
+    ];
 }
 
 impl<'a> OblxProblem<'a> {
     /// Creates the problem for a compiled description.
     pub fn new(compiled: &'a CompiledProblem, opts: SynthesisOptions) -> Self {
+        // Cold path, once per problem: label the telemetry move-class
+        // slots so snapshots render real names instead of `class<i>`.
+        oblx_telemetry::set_class_names(&move_class::NAMES);
         // Node-voltage exploration range: span of determined voltages
         // (the supplies) widened by a volt on each side.
         let vars = compiled.var_map(&compiled.initial_user_values());

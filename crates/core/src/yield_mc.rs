@@ -167,10 +167,13 @@ mod tests {
     fn yield_degrades_with_mismatch_sigma() {
         let b = bench_suite::simple_ota();
         let compiled = crate::astrx::compile(b.problem().unwrap()).unwrap();
+        // 20k moves: enough budget that convergence does not hinge on
+        // one lucky trajectory (the AWE guard rails make the cost
+        // surface stricter than when this test was first seeded).
         let result = synthesize(
             &compiled,
             &SynthesisOptions {
-                moves_budget: 10_000,
+                moves_budget: 20_000,
                 seed: 1,
                 quench_patience: 400,
                 ..SynthesisOptions::default()

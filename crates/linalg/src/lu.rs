@@ -102,11 +102,15 @@ impl<T: Scalar> Lu<T> {
                 }
             }
         }
-        Ok(Lu {
+        let lu = Lu {
             lu: a,
             perm,
             sign_flips,
-        })
+        };
+        if oblx_telemetry::enabled() {
+            oblx_telemetry::record_pivot_ratio(lu.pivot_ratio());
+        }
+        Ok(lu)
     }
 
     /// Dimension of the factored system.

@@ -5,20 +5,33 @@ use std::fmt;
 
 /// An error produced while parsing a synthesis-problem description.
 ///
-/// Carries the 1-based source line for diagnostics.
+/// Carries the 1-based source line (and, where the failing token is
+/// known, the 1-based column) for diagnostics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// 1-based line number in the input (0 when not line-specific).
     pub line: usize,
+    /// 1-based column number in the logical line (0 when unknown).
+    pub column: usize,
     /// Human-readable message.
     pub message: String,
 }
 
 impl ParseError {
-    /// Creates a parse error attached to `line`.
+    /// Creates a parse error attached to `line` (column unknown).
     pub fn new(line: usize, message: impl Into<String>) -> Self {
         ParseError {
             line,
+            column: 0,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a parse error attached to `line` and `column`.
+    pub fn at(line: usize, column: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            column,
             message: message.into(),
         }
     }
@@ -26,10 +39,10 @@ impl ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.line > 0 {
-            write!(f, "line {}: {}", self.line, self.message)
-        } else {
-            write!(f, "{}", self.message)
+        match (self.line, self.column) {
+            (0, _) => write!(f, "{}", self.message),
+            (line, 0) => write!(f, "line {line}: {}", self.message),
+            (line, col) => write!(f, "line {line}, col {col}: {}", self.message),
         }
     }
 }

@@ -352,7 +352,10 @@ impl<'a> ExprParser<'a> {
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError::new(self.line, msg)
+        // Column is the 1-based offset of the failing character within
+        // the expression text (for quoted expressions, within the
+        // quotes).
+        ParseError::at(self.line, self.pos + 1, msg)
     }
 
     fn skip_ws(&mut self) {

@@ -93,15 +93,22 @@ impl<'a> Iterator for LogicalLines<'a> {
 /// ```
 pub fn split_fields(line_no: usize, line: &str) -> Result<Vec<String>, ParseError> {
     let mut fields = Vec::new();
+    // `col` counts characters consumed, so quote errors can point at the
+    // 1-based column of the offending opening quote.
+    let mut col = 0usize;
     let mut chars = line.chars().peekable();
     while let Some(&c) = chars.peek() {
         if c.is_whitespace() {
             chars.next();
+            col += 1;
         } else if c == '\'' {
+            let open_col = col + 1;
             chars.next();
+            col += 1;
             let mut buf = String::new();
             let mut closed = false;
             for ch in chars.by_ref() {
+                col += 1;
                 if ch == '\'' {
                     closed = true;
                     break;
@@ -109,7 +116,11 @@ pub fn split_fields(line_no: usize, line: &str) -> Result<Vec<String>, ParseErro
                 buf.push(ch);
             }
             if !closed {
-                return Err(ParseError::new(line_no, "unterminated quoted expression"));
+                return Err(ParseError::at(
+                    line_no,
+                    open_col,
+                    "unterminated quoted expression",
+                ));
             }
             fields.push(buf);
         } else {
@@ -120,9 +131,12 @@ pub fn split_fields(line_no: usize, line: &str) -> Result<Vec<String>, ParseErro
                 }
                 if ch == '\'' {
                     // key='expr' — splice the quoted body into the field.
+                    let open_col = col + 1;
                     chars.next();
+                    col += 1;
                     let mut closed = false;
                     for ch2 in chars.by_ref() {
+                        col += 1;
                         if ch2 == '\'' {
                             closed = true;
                             break;
@@ -130,12 +144,17 @@ pub fn split_fields(line_no: usize, line: &str) -> Result<Vec<String>, ParseErro
                         buf.push(ch2);
                     }
                     if !closed {
-                        return Err(ParseError::new(line_no, "unterminated quoted expression"));
+                        return Err(ParseError::at(
+                            line_no,
+                            open_col,
+                            "unterminated quoted expression",
+                        ));
                     }
                     continue;
                 }
                 buf.push(ch);
                 chars.next();
+                col += 1;
             }
             fields.push(buf);
         }

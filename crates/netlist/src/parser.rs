@@ -379,7 +379,14 @@ fn parse_netlist_card(
         ));
     }
     let name = head.to_string();
-    let first = name.as_bytes()[0];
+    // A quoted empty field (`''`) yields an empty head; indexing byte 0
+    // would panic, which used to kill the daemon on such a deck.
+    let Some(&first) = name.as_bytes().first() else {
+        return Err(ParseError::new(
+            line_no,
+            "empty element name (blank quoted field?)",
+        ));
+    };
     let lower = |i: usize| -> String { fields[i].to_lowercase() };
     let need = |n: usize, what: &str| -> Result<(), ParseError> {
         if fields.len() < n {
@@ -535,7 +542,7 @@ fn parse_netlist_card(
         }
         b'x' => {
             need(3, "subckt instance")?;
-            let subckt = fields.last().expect("len checked").to_lowercase();
+            let subckt = lower(fields.len() - 1);
             let nodes = fields[1..fields.len() - 1]
                 .iter()
                 .map(|s| s.to_lowercase())

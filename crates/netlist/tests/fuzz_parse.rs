@@ -1,0 +1,138 @@
+//! Malformed-input fuzzing for the parser: truncated, garbled, and
+//! recombined decks must produce `ParseError`s (or parse), never panics.
+//!
+//! Regression context: a deck line consisting of a quoted empty field
+//! (`''`) inside a circuit section produced an empty element name, and
+//! the parser indexed its first byte — a panic that propagated through
+//! the `oblxd` worker scope and killed the daemon.
+
+use oblx_netlist::parse_problem;
+use proptest::prelude::*;
+
+const BASE: &str = "\
+.title fuzz base deck
+.var W 1u 1000u log
+.var Vb 0.5 4.5 lin cont
+
+.model nmos_m nmos level=1 vto=0.7 kp=100u
+
+.subckt amp in out nvdd
+m1 out in a nvdd nmos_m w='W' l=2u
+r1 a 0 1k
+.ends
+
+.jig acjig
+xamp in out nvdd amp
+vdd nvdd 0 5
+vin in 0 0 ac 1
+cl out 0 1p
+.pz tf v(out) vin
+.endjig
+
+.bias
+xamp in out nvdd amp
+vdd nvdd 0 5
+vcm in 0 2.5
+.endbias
+
+.obj adm 'db(dc_gain(tf))' good=60 bad=20
+.spec ugf 'ugf(tf)' good=1Meg bad=10k
+";
+
+/// Line fragments that historically exercised panic-prone paths: quoted
+/// empties, bare element letters, dangling cards, expression shrapnel.
+fn fragments() -> Vec<&'static str> {
+    vec![
+        "''",
+        "'",
+        "x",
+        "m",
+        "q1",
+        "v2 a",
+        ".subckt",
+        ".ends",
+        ".jig j",
+        ".endjig",
+        ".bias",
+        ".endbias",
+        ".pz",
+        ".var x",
+        ".obj o '1+' good=1 bad=0",
+        ".spec s '((' good=1 bad=0",
+        ".model m",
+        ".region m1",
+        "r1 a b 'W*'",
+        "e1 a b c d '1e'",
+        "+ continuation",
+        "* comment",
+        "m1 d g s b nmos w= l=",
+        "i1 a 0 dc",
+        "v1 a 0 ac",
+        "x1 a b c d e f g h",
+        "d1 a 0",
+        ".title",
+        "''''",
+        "r'' a b 1k",
+    ]
+}
+
+#[test]
+fn quoted_empty_field_in_section_is_an_error_not_a_panic() {
+    // The exact pre-fix daemon-killer: empty head inside .subckt.
+    let deck = ".subckt s a\n''\n.ends\n";
+    let err = parse_problem(deck).unwrap_err();
+    assert_eq!(err.line, 2);
+    assert!(err.message.contains("empty element name"), "{err}");
+
+    // Same head inside .jig and .bias sections.
+    assert!(parse_problem(".jig j\n''\n.endjig\n").is_err());
+    assert!(parse_problem(".bias\n''\n.endbias\n").is_err());
+}
+
+#[test]
+fn unterminated_quote_reports_line_and_column() {
+    let err = parse_problem(".subckt s a\nr1 a b 'W\n.ends\n").unwrap_err();
+    assert_eq!(err.line, 2);
+    assert_eq!(err.column, 8);
+    assert!(err.to_string().contains("line 2, col 8"), "{err}");
+}
+
+proptest! {
+    /// Truncating a valid deck anywhere must not panic.
+    #[test]
+    fn prop_truncated_decks_never_panic(cut in 0usize..2048) {
+        let chars: Vec<char> = BASE.chars().collect();
+        let deck: String = chars[..cut.min(chars.len())].iter().collect();
+        let _ = parse_problem(&deck);
+    }
+
+    /// Overwriting random characters with arbitrary bytes (printable
+    /// ASCII, quotes, controls) must not panic.
+    #[test]
+    fn prop_garbled_decks_never_panic(
+        edits in proptest::collection::vec((0usize..1024, 0u8..128), 1..12),
+    ) {
+        let mut chars: Vec<char> = BASE.chars().collect();
+        for (pos, byte) in edits {
+            let i = pos % chars.len();
+            chars[i] = byte as char;
+        }
+        let deck: String = chars.iter().collect();
+        let _ = parse_problem(&deck);
+    }
+
+    /// Random recombinations of panic-prone line fragments must not
+    /// panic, whatever order or nesting they land in.
+    #[test]
+    fn prop_fragment_soup_never_panics(
+        picks in proptest::collection::vec(0usize..29, 1..25),
+    ) {
+        let frags = fragments();
+        let deck: String = picks
+            .iter()
+            .map(|&i| frags[i % frags.len()])
+            .collect::<Vec<_>>()
+            .join("\n");
+        let _ = parse_problem(&deck);
+    }
+}

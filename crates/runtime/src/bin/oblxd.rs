@@ -15,7 +15,7 @@
 
 use astrx_oblx::jobs::JobRequest;
 use astrx_oblx::{bench_suite, SynthesisOptions};
-use oblx_runtime::events::{status, EventLog};
+use oblx_runtime::events::{last_metrics, render_metrics, status, EventLog};
 use oblx_runtime::pool::{self, PoolOptions};
 use oblx_runtime::spool::Spool;
 use std::process::ExitCode;
@@ -26,7 +26,7 @@ fn usage() -> ExitCode {
         "usage:\n  oblxd submit --dir SPOOL (--bench NAME | file.ox) [--name N] \
          [--seeds N|a,b,c] [--moves N] [--priority P]\n  \
          oblxd run --dir SPOOL [--workers N] [--checkpoint-interval N] [--drain]\n  \
-         oblxd status --dir SPOOL"
+         oblxd status --dir SPOOL [--metrics]"
     );
     ExitCode::from(2)
 }
@@ -54,6 +54,12 @@ fn main() -> ExitCode {
         "run" => cmd_run(&spool, &rest),
         "status" => {
             print!("{}", status(&spool).render());
+            if flag(&rest, "--metrics") {
+                match last_metrics(&spool) {
+                    Some(data) => print!("{}", render_metrics(&data)),
+                    None => println!("metrics: none recorded yet"),
+                }
+            }
             ExitCode::SUCCESS
         }
         _ => usage(),
@@ -138,6 +144,13 @@ fn cmd_submit(spool: &Spool, rest: &[&String]) -> ExitCode {
             .and_then(|s| s.parse().ok())
             .unwrap_or(0),
     };
+    // Validate before spooling: a malformed deck is the submitter's
+    // error and should be rejected here with line/column diagnostics,
+    // not discovered later by a worker.
+    if let Err(e) = oblx_runtime::compile_job(&request) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     match spool.submit(request) {
         Ok(job) => {
             EventLog::open(spool, &job.id).emit(
@@ -168,6 +181,18 @@ fn positional<'a>(rest: &'a [&String]) -> Option<&'a str> {
 }
 
 fn cmd_run(spool: &Spool, rest: &[&String]) -> ExitCode {
+    // The daemon always records telemetry: the per-run overhead is
+    // within noise and `status --metrics` depends on the snapshots.
+    oblx_telemetry::set_enabled(true);
+    // Quarantine before recover so startup-time corruption is counted
+    // and logged like worker-time corruption, not silently filed away.
+    let mut startup_corrupt = 0usize;
+    for id in spool.quarantine_corrupt() {
+        EventLog::open(spool, &id).emit("job_corrupt", &[]);
+        oblx_telemetry::incr(oblx_telemetry::Counter::JobCorrupt);
+        eprintln!("quarantined corrupt spool entry {id}");
+        startup_corrupt += 1;
+    }
     for id in spool.recover() {
         EventLog::open(spool, &id).emit("recovered", &[]);
         eprintln!("recovered orphaned job {id}");
@@ -188,8 +213,13 @@ fn cmd_run(spool: &Spool, rest: &[&String]) -> ExitCode {
     let shutdown = AtomicBool::new(false);
     let stats = pool::run(spool, &opts, &shutdown);
     println!(
-        "done: {} job(s) completed, {} failed, {} seed task(s) run",
-        stats.jobs_completed, stats.jobs_failed, stats.seeds_run
+        "done: {} job(s) completed, {} failed, {} seed task(s) run, \
+         {} corrupt file(s) quarantined, {} panic(s) caught",
+        stats.jobs_completed,
+        stats.jobs_failed,
+        stats.seeds_run,
+        stats.jobs_corrupt + startup_corrupt,
+        stats.seeds_panicked
     );
     ExitCode::SUCCESS
 }

@@ -61,6 +61,132 @@ impl EventLog {
     }
 }
 
+/// Appends the current telemetry snapshot to `events/metrics.jsonl` in
+/// the spool as one `{"ts":…,"event":"metrics","data":{…}}` line.
+/// No-op while telemetry is disabled; write failures are swallowed like
+/// every other log append.
+pub fn append_metrics(spool: &Spool) {
+    if !oblx_telemetry::enabled() {
+        return;
+    }
+    let ts = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0);
+    let line = format!(
+        "{{\"ts\":{ts},\"event\":\"metrics\",\"data\":{}}}\n",
+        oblx_telemetry::Snapshot::capture().to_json()
+    );
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(spool.events_dir().join("metrics.jsonl"))
+    {
+        let _ = f.write_all(line.as_bytes());
+    }
+}
+
+/// The `data` object of the newest intact `metrics` line in the spool,
+/// if any daemon has written one.
+pub fn last_metrics(spool: &Spool) -> Option<Value> {
+    let text = std::fs::read_to_string(spool.events_dir().join("metrics.jsonl")).ok()?;
+    json::parse_lines(&text)
+        .into_iter()
+        .rev()
+        .find(|v| v.get("event").and_then(Value::as_str) == Some("metrics"))
+        .and_then(|v| v.get("data").cloned())
+}
+
+/// Renders a `metrics` snapshot object (as written by
+/// [`append_metrics`]) for `oblxd status --metrics`.
+pub fn render_metrics(data: &Value) -> String {
+    let mut out = String::new();
+    let counter = |name: &str| -> i64 {
+        data.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Value::as_int)
+            .unwrap_or(0)
+    };
+    if let Some(moves) = data.get("moves").and_then(Value::as_arr) {
+        if !moves.is_empty() {
+            let _ = writeln!(out, "move classes:");
+        }
+        for m in moves {
+            let class = m.get("class").and_then(Value::as_str).unwrap_or("?");
+            let attempts = m.get("attempts").and_then(Value::as_int).unwrap_or(0);
+            let accepts = m.get("accepts").and_then(Value::as_int).unwrap_or(0);
+            let rate = if attempts > 0 {
+                100.0 * accepts as f64 / attempts as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {class:<18} {attempts:>9} attempts  {accepts:>9} accepts  ({rate:.1}% accept)"
+            );
+        }
+    }
+    if let Some(cost) = data.get("cost") {
+        let samples = cost.get("samples").and_then(Value::as_int).unwrap_or(0);
+        if samples > 0 {
+            let _ = writeln!(out, "cost terms (mean over {samples} evals):");
+            for key in ["c_obj", "c_perf", "c_dev", "c_dc", "total"] {
+                let sum = cost
+                    .get(&format!("{key}_sum"))
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0);
+                let _ = writeln!(out, "  {:<8} {:>14.6}", key, sum / samples as f64);
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "eval paths: {} cold / {} full / {} incremental / {} cached / {} failed",
+        counter("eval_cold"),
+        counter("eval_full"),
+        counter("eval_incremental"),
+        counter("eval_cached"),
+        counter("eval_failure"),
+    );
+    let _ = writeln!(
+        out,
+        "awe: {} fits ({} no-model, {} unstable, {} dropped poles)   \
+         lu: {} factors, {} ill-conditioned",
+        counter("awe_fit"),
+        counter("awe_no_model"),
+        counter("awe_unstable"),
+        counter("awe_dropped_poles"),
+        counter("lu_factor"),
+        counter("lu_ill_conditioned"),
+    );
+    let _ = writeln!(
+        out,
+        "jobs: {} corrupt quarantined, {} seed panics caught",
+        counter("job_corrupt"),
+        counter("seed_panic"),
+    );
+    if let Some(workers) = data.get("workers").and_then(Value::as_arr) {
+        for w in workers {
+            let idx = w.get("worker").and_then(Value::as_int).unwrap_or(0);
+            let busy = w.get("busy_ns").and_then(Value::as_int).unwrap_or(0) as f64;
+            let idle = w.get("idle_ns").and_then(Value::as_int).unwrap_or(0) as f64;
+            let tasks = w.get("tasks").and_then(Value::as_int).unwrap_or(0);
+            let util = if busy + idle > 0.0 {
+                100.0 * busy / (busy + idle)
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  w{idx}: {util:.0}% busy ({:.1}s busy / {:.1}s idle, {tasks} tasks)",
+                busy / 1e9,
+                idle / 1e9,
+            );
+        }
+    }
+    out
+}
+
 /// Progress of one claimed job, reconstructed from its event log.
 #[derive(Debug, Clone)]
 pub struct JobProgress {

@@ -60,8 +60,12 @@ pub struct RunStats {
     pub jobs_completed: usize,
     /// Jobs finished in failure (compile error or every seed failed).
     pub jobs_failed: usize,
+    /// Undecodable job files quarantined out of the spool.
+    pub jobs_corrupt: usize,
     /// Seed tasks executed to completion.
     pub seeds_run: usize,
+    /// Seed tasks that panicked (caught; the worker survived).
+    pub seeds_panicked: usize,
 }
 
 /// One finished (or failed) per-seed run — the plain-data record that
@@ -139,16 +143,23 @@ pub fn run(spool: &Spool, opts: &PoolOptions, shutdown: &AtomicBool) -> RunStats
     });
     let stats = *shared.stats.lock().unwrap();
     write_workers(&shared); // final snapshot: everyone idle
+    crate::events::append_metrics(spool);
     stats
 }
 
 fn worker_loop(shared: &Shared<'_>, w: usize) {
+    let mut idle_since = std::time::Instant::now();
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
         if let Some(task) = next_task(shared, w) {
+            let start = std::time::Instant::now();
+            oblx_telemetry::record_worker_time(w, 0, (start - idle_since).as_nanos() as u64);
             run_task(shared, w, task);
+            oblx_telemetry::record_worker_task(w);
+            idle_since = std::time::Instant::now();
+            oblx_telemetry::record_worker_time(w, (idle_since - start).as_nanos() as u64, 0);
             continue;
         }
         // Nothing to steal: try to claim and shard a fresh job. The
@@ -159,6 +170,17 @@ fn worker_loop(shared: &Shared<'_>, w: usize) {
             if let Some(job) = shared.spool.claim_next() {
                 claim_and_shard(shared, w, job);
                 continue;
+            }
+            // Anything left in queue/ that didn't claim is undecodable:
+            // quarantine it so it stops haunting every scan, and leave
+            // an operator-visible trace instead of the old silent skip.
+            let corrupt = shared.spool.quarantine_corrupt();
+            if !corrupt.is_empty() {
+                for id in &corrupt {
+                    EventLog::open(shared.spool, id).emit("job_corrupt", &[]);
+                    oblx_telemetry::incr(oblx_telemetry::Counter::JobCorrupt);
+                }
+                shared.stats.lock().unwrap().jobs_corrupt += corrupt.len();
             }
             if shared.opts.drain && shared.inflight.load(Ordering::SeqCst) == 0 {
                 return;
@@ -252,30 +274,50 @@ fn run_task(shared: &Shared<'_>, w: usize, (job, index): Task) {
         ..job.file.request.options.clone()
     };
     let ckdir = shared.spool.ckpt_dir(&job.file.id);
-    let outcome = jobs::run_seed_resumable(
-        &job.compiled,
-        &run_opts,
-        &ckdir,
-        shared.opts.checkpoint_every,
-        |ck| {
+    // A panicking seed (a bug, or pathological numerics) must not
+    // unwind through `std::thread::scope` and take the whole daemon —
+    // and every sibling seed — down with it. Catch it and record the
+    // seed as failed; determinism is untouched since the seed produced
+    // no result either way.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        jobs::run_seed_resumable(
+            &job.compiled,
+            &run_opts,
+            &ckdir,
+            shared.opts.checkpoint_every,
+            |ck| {
+                job.log.emit(
+                    "checkpoint",
+                    &[
+                        ("seed", jobs::u64_to_value(seed)),
+                        ("attempted", ck.engine.attempted.into()),
+                        ("cost", ck.engine.cost.into()),
+                        ("best_cost", ck.engine.best_cost.into()),
+                    ],
+                );
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    Directive::Stop
+                } else {
+                    Directive::Continue
+                }
+            },
+        )
+    }));
+    let record = match outcome {
+        Err(payload) => {
+            let msg = panic_message(payload.as_ref());
             job.log.emit(
-                "checkpoint",
+                "seed_panic",
                 &[
                     ("seed", jobs::u64_to_value(seed)),
-                    ("attempted", ck.engine.attempted.into()),
-                    ("cost", ck.engine.cost.into()),
-                    ("best_cost", ck.engine.best_cost.into()),
+                    ("error", msg.as_str().into()),
                 ],
             );
-            if shared.shutdown.load(Ordering::SeqCst) {
-                Directive::Stop
-            } else {
-                Directive::Continue
-            }
-        },
-    );
-    let record = match outcome {
-        Ok(SynthesisOutcome::Complete(result)) => {
+            oblx_telemetry::incr(oblx_telemetry::Counter::SeedPanic);
+            shared.stats.lock().unwrap().seeds_panicked += 1;
+            Some(failed_seed_record(seed))
+        }
+        Ok(Ok(SynthesisOutcome::Complete(result))) => {
             let fc = fixed_cost(&job.compiled, &result.state);
             Some(SeedRecord {
                 seed,
@@ -289,14 +331,14 @@ fn run_task(shared: &Shared<'_>, w: usize, (job, index): Task) {
                 failed: false,
             })
         }
-        Ok(SynthesisOutcome::Interrupted(_)) => {
+        Ok(Ok(SynthesisOutcome::Interrupted(_))) => {
             // Shutdown mid-run: the checkpoint file stays behind and
             // the job stays in running/ for the next recover().
             job.log
                 .emit("interrupted", &[("seed", jobs::u64_to_value(seed))]);
             None
         }
-        Err(e) => {
+        Ok(Err(e)) => {
             job.log.emit(
                 "seed_failed",
                 &[
@@ -304,20 +346,7 @@ fn run_task(shared: &Shared<'_>, w: usize, (job, index): Task) {
                     ("error", e.to_string().as_str().into()),
                 ],
             );
-            Some(SeedRecord {
-                seed,
-                fixed_cost: f64::INFINITY,
-                best_cost: f64::NAN,
-                kcl_max: f64::NAN,
-                evaluations: 0,
-                attempted: 0,
-                wall_seconds: 0.0,
-                state: OblxState {
-                    user: Vec::new(),
-                    nodes: Vec::new(),
-                },
-                failed: true,
-            })
+            Some(failed_seed_record(seed))
         }
     };
     if let Some(record) = record {
@@ -433,12 +462,43 @@ fn finalize(shared: &Shared<'_>, job: &RunningJob) {
     let record = record.field("runs", Value::Arr(runs)).build();
     let _ = shared.spool.complete(&job.file.id, &record);
     job.log.emit("done", &[("status", status.into())]);
+    crate::events::append_metrics(shared.spool);
     let _ = std::fs::remove_dir_all(shared.spool.ckpt_dir(&job.file.id));
     let mut stats = shared.stats.lock().unwrap();
     if status == "ok" {
         stats.jobs_completed += 1;
     } else {
         stats.jobs_failed += 1;
+    }
+}
+
+/// The failed-seed sentinel record: infinite fixed cost keeps it out of
+/// winner selection; the empty state marks it as result-free.
+fn failed_seed_record(seed: u64) -> SeedRecord {
+    SeedRecord {
+        seed,
+        fixed_cost: f64::INFINITY,
+        best_cost: f64::NAN,
+        kcl_max: f64::NAN,
+        evaluations: 0,
+        attempted: 0,
+        wall_seconds: 0.0,
+        state: OblxState {
+            user: Vec::new(),
+            nodes: Vec::new(),
+        },
+        failed: true,
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -628,6 +688,40 @@ mod tests {
         assert_eq!(stats.jobs_failed, 1);
         let record = spool.done(&job.id).unwrap();
         assert_eq!(record.get("status").unwrap().as_str(), Some("failed"));
+        std::fs::remove_dir_all(spool.root()).unwrap();
+    }
+
+    #[test]
+    fn corrupt_spool_entry_is_quarantined_and_drain_completes() {
+        let spool = temp_spool("corrupt-drain");
+        let good = spool.submit(small_job("amp", vec![5])).unwrap();
+        // A torn write, as left behind by a submitter killed mid-write.
+        std::fs::write(spool.queue_dir().join("torn.json"), "{\"format\":\"oblx-j").unwrap();
+        let stats = run(
+            &spool,
+            &PoolOptions {
+                workers: 2,
+                checkpoint_every: 100,
+                drain: true,
+            },
+            &AtomicBool::new(false),
+        );
+        // Pre-fix: the torn file was skipped silently and sat in queue/
+        // forever with no trace. Now it is quarantined, counted, and
+        // leaves a `job_corrupt` event — and the good job still drains.
+        assert_eq!(stats.jobs_completed, 1);
+        assert_eq!(stats.jobs_corrupt, 1);
+        assert!(spool.corrupt_dir().join("torn.json").exists());
+        assert!(!spool.queue_dir().join("torn.json").exists());
+        let events = EventLog::open(&spool, "torn").read();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("event").and_then(Value::as_str) == Some("job_corrupt")),
+            "job_corrupt event missing: {events:?}"
+        );
+        let record = spool.done(&good.id).unwrap();
+        assert_eq!(record.get("status").unwrap().as_str(), Some("ok"));
         std::fs::remove_dir_all(spool.root()).unwrap();
     }
 

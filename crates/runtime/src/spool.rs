@@ -6,6 +6,7 @@
 //! queue/<id>.json      submitted jobs awaiting a worker
 //! running/<id>.json    jobs claimed by a worker
 //! done/<id>.json       result records (success or failure)
+//! corrupt/<id>.json    quarantined undecodable job files
 //! ckpt/<id>/           per-seed checkpoints and seed-done records
 //! events/<id>.jsonl    per-job event logs (see crate::events)
 //! workers.json         live worker-state snapshot (written by the pool)
@@ -41,6 +42,7 @@ impl Spool {
             spool.queue_dir(),
             spool.running_dir(),
             spool.done_dir(),
+            spool.corrupt_dir(),
             spool.events_dir(),
             spool.ckpt_root(),
         ] {
@@ -67,6 +69,11 @@ impl Spool {
     /// `done/` — result records.
     pub fn done_dir(&self) -> PathBuf {
         self.root.join("done")
+    }
+
+    /// `corrupt/` — quarantined job files that could not be decoded.
+    pub fn corrupt_dir(&self) -> PathBuf {
+        self.root.join("corrupt")
     }
 
     /// `events/` — per-job JSONL logs.
@@ -149,10 +156,52 @@ impl Spool {
         None
     }
 
+    /// Scans `queue/` and `running/` for `.json` files that cannot be
+    /// decoded as jobs — torn writes, truncation, garbage — and renames
+    /// them into `corrupt/`. Returns the quarantined file stems.
+    ///
+    /// Undecodable files used to be skipped silently by every scan,
+    /// sitting in the queue forever with no operator-visible trace;
+    /// quarantining makes the failure diagnosable and keeps rescans
+    /// cheap. A file that vanishes mid-scan (claimed or completed by a
+    /// racing worker) is *not* corruption and is left alone.
+    pub fn quarantine_corrupt(&self) -> Vec<String> {
+        let mut quarantined = Vec::new();
+        for dir in [self.queue_dir(), self.running_dir()] {
+            let Ok(entries) = std::fs::read_dir(&dir) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                    continue;
+                }
+                // Only a file we can *read* but not *decode* is corrupt.
+                let Ok(text) = std::fs::read_to_string(&path) else {
+                    continue;
+                };
+                if jobs::job_from_json(&text).is_ok() {
+                    continue;
+                }
+                let Some(stem) = path.file_stem().map(|s| s.to_string_lossy().into_owned()) else {
+                    continue;
+                };
+                let to = self.corrupt_dir().join(format!("{stem}.json"));
+                if std::fs::rename(&path, &to).is_ok() {
+                    quarantined.push(stem);
+                }
+            }
+        }
+        quarantined
+    }
+
     /// Moves every `running/` job back into `queue/` — called once at
     /// daemon startup to recover jobs orphaned by a crash. Returns the
-    /// recovered ids.
+    /// recovered ids. Undecodable `running/` entries are quarantined
+    /// (see [`Spool::quarantine_corrupt`]) rather than silently left
+    /// behind.
     pub fn recover(&self) -> Vec<String> {
+        let _ = self.quarantine_corrupt();
         let mut recovered = Vec::new();
         for job in self.running() {
             let from = self.running_dir().join(format!("{}.json", job.id));
@@ -284,6 +333,35 @@ mod tests {
         let jobs = spool.pending();
         assert_eq!(jobs.len(), 1);
         assert_eq!(jobs[0].request.name, "good");
+        std::fs::remove_dir_all(spool.root()).unwrap();
+    }
+
+    #[test]
+    fn quarantine_moves_undecodable_files_out_of_the_scan_path() {
+        let spool = temp_spool("quarantine");
+        spool.submit(req("good", 0)).unwrap();
+        std::fs::write(spool.queue_dir().join("torn.json"), "{\"format\":").unwrap();
+        std::fs::write(spool.running_dir().join("mangled.json"), "not json").unwrap();
+        let mut q = spool.quarantine_corrupt();
+        q.sort();
+        assert_eq!(q, ["mangled", "torn"]);
+        assert!(spool.corrupt_dir().join("torn.json").exists());
+        assert!(spool.corrupt_dir().join("mangled.json").exists());
+        assert_eq!(spool.pending().len(), 1, "the good job survives");
+        assert!(spool.quarantine_corrupt().is_empty(), "rescan is clean");
+        std::fs::remove_dir_all(spool.root()).unwrap();
+    }
+
+    #[test]
+    fn recover_quarantines_corrupt_running_entries() {
+        let spool = temp_spool("recover-corrupt");
+        spool.submit(req("a", 0)).unwrap();
+        let job = spool.claim_next().unwrap();
+        std::fs::write(spool.running_dir().join("torn.json"), "{{{{").unwrap();
+        let recovered = spool.recover();
+        assert_eq!(recovered, std::slice::from_ref(&job.id));
+        assert!(spool.corrupt_dir().join("torn.json").exists());
+        assert!(spool.running().is_empty());
         std::fs::remove_dir_all(spool.root()).unwrap();
     }
 
