@@ -27,6 +27,15 @@ pub fn gain_at(model: &ReducedModel, f: f64) -> f64 {
 /// information at all, so it returns 0 rather than 1e12: "no pole
 /// found" must never be scored as "infinitely fast circuit".
 pub fn unity_gain_frequency(model: &ReducedModel) -> f64 {
+    if let Some(f) = model.cached_ugf() {
+        return f;
+    }
+    let f = unity_gain_frequency_uncached(model);
+    model.store_ugf(f);
+    f
+}
+
+fn unity_gain_frequency_uncached(model: &ReducedModel) -> f64 {
     const F_MAX: f64 = 1.0e12;
     if model.poles().is_empty() {
         return 0.0;

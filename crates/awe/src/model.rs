@@ -1,6 +1,7 @@
 //! The reduced-order (pole/residue) model produced by AWE.
 
 use oblx_linalg::Complex;
+use std::cell::Cell;
 use std::error::Error;
 use std::fmt;
 
@@ -41,6 +42,15 @@ pub struct ReducedModel {
     moments: Vec<f64>,
     q: usize,
     dropped: usize,
+    /// Precomputed dc-correction offset `µ0 − Σ −k/p` (see [`Self::eval`]).
+    dc_corr: f64,
+    /// Precomputed `|p_dominant|.max(1e-30)`; `None` for pole-free models.
+    dom_w: Option<f64>,
+    /// Lazily-cached unity-gain frequency. `phase_margin` re-derives the
+    /// crossing `unity_gain_frequency` already found — a ~70-point gain
+    /// scan — so the first caller stores it here. Poles/residues/µ0 are
+    /// immutable after construction, making the cached value exact.
+    ugf: Cell<Option<f64>>,
 }
 
 impl ReducedModel {
@@ -72,6 +82,20 @@ impl ReducedModel {
         if dropped > 0 {
             oblx_telemetry::add(oblx_telemetry::Counter::AweDroppedPoles, dropped as u64);
         }
+        // H_pr(0) = Σ −k/p; correction = µ0 − H_pr(0). Both this and the
+        // dominant-pole magnitude depend only on the (now-frozen) fit, so
+        // hoisting them out of `eval` keeps every gain probe O(q) with no
+        // per-call rescan.
+        let mut h0 = Complex::ZERO;
+        for (p, k) in poles.iter().zip(residues.iter()) {
+            h0 += -(*k) / *p;
+        }
+        let dc_corr = mu0 - h0.re;
+        let dom_w = poles
+            .iter()
+            .copied()
+            .min_by(|a, b| a.re.abs().total_cmp(&b.re.abs()))
+            .map(|pd| pd.norm().max(1e-30));
         ReducedModel {
             poles,
             residues,
@@ -79,6 +103,9 @@ impl ReducedModel {
             moments,
             q,
             dropped,
+            dc_corr,
+            dom_w,
+            ugf: Cell::new(None),
         }
     }
 
@@ -91,7 +118,20 @@ impl ReducedModel {
             moments: vec![value],
             q: 0,
             dropped: 0,
+            dc_corr: value,
+            dom_w: None,
+            ugf: Cell::new(None),
         }
+    }
+
+    /// The cached unity-gain frequency, if a measurement stored one.
+    pub(crate) fn cached_ugf(&self) -> Option<f64> {
+        self.ugf.get()
+    }
+
+    /// Stores the unity-gain frequency for later measurements.
+    pub(crate) fn store_ugf(&self, f: f64) {
+        self.ugf.set(Some(f));
     }
 
     /// The model order `q`.
@@ -127,26 +167,14 @@ impl ReducedModel {
         for (p, k) in self.poles.iter().zip(self.residues.iter()) {
             acc += *k / (s - *p);
         }
-        let delta = self.dc_correction();
+        let delta = self.dc_corr;
         if delta != 0.0 {
-            match self.dominant_pole() {
-                Some(pd) => {
-                    let w = pd.norm().max(1e-30);
-                    acc += Complex::from_real(delta) / (Complex::ONE + s / w);
-                }
+            match self.dom_w {
+                Some(w) => acc += Complex::from_real(delta) / (Complex::ONE + s / w),
                 None => acc += Complex::from_real(delta),
             }
         }
         acc
-    }
-
-    fn dc_correction(&self) -> f64 {
-        // H_pr(0) = Σ −k/p; correction = µ0 − H_pr(0).
-        let mut h0 = Complex::ZERO;
-        for (p, k) in self.poles.iter().zip(self.residues.iter()) {
-            h0 += -(*k) / *p;
-        }
-        self.mu0 - h0.re
     }
 
     /// The exact dc gain `|H(0)| = |µ₀|`.

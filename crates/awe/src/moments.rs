@@ -1,8 +1,8 @@
 //! Moment generation and the adaptive Padé fit.
 
 use crate::model::{AweError, ReducedModel};
-use oblx_linalg::{solve_hankel, solve_vandermonde, Complex, Lu, Mat, Poly};
-use oblx_mna::{LinearSystem, OutputSelector};
+use oblx_linalg::{solve_hankel, solve_vandermonde, Complex, Lu, Mat, Poly, SparseLu};
+use oblx_mna::{LinearSystem, OutputSelector, SparseStampMap};
 
 /// Compressed rows of the transposed capacitance matrix (structural
 /// nonzeros only), built once per factorization and shared by every
@@ -58,6 +58,193 @@ impl SparseC {
                 acc += *v * x[*c];
             }
             *yr = -acc;
+        }
+    }
+}
+
+/// Structural compressed rows of `Cᵀ` over a [`SparseStampMap`] union
+/// pattern: the sparse engine's counterpart of [`SparseC`]. Instead of
+/// values it stores *slot indices* into the map's parallel `c_vals`
+/// array, so the operator is built once per plan compile and every
+/// re-stamp is picked up with zero rebuild cost.
+#[derive(Debug, Clone)]
+struct SlotCt {
+    dim: usize,
+    /// Row `r` of `Cᵀ` owns `cols[starts[r]..starts[r+1]]`.
+    starts: Vec<u32>,
+    cols: Vec<u32>,
+    /// Slot of each `(cols[j], r)` entry in the union value arrays.
+    slots: Vec<u32>,
+}
+
+impl SlotCt {
+    /// Builds `Cᵀ` rows from the union pattern restricted to the
+    /// entries the `C` stamping sequence touches (`c_idx`, sorted).
+    fn build(dim: usize, entries: &[(usize, usize)], c_idx: &[u32]) -> SlotCt {
+        // Row `tc` of `Cᵀ` holds column `tc` of `C`; within a row,
+        // ascending source row — the same accumulation order as
+        // [`SparseC::build_transpose`].
+        let mut order: Vec<u32> = c_idx.to_vec();
+        order.sort_by_key(|&i| {
+            let (r, c) = entries[i as usize];
+            (c, r)
+        });
+        let mut starts = Vec::with_capacity(dim + 1);
+        let mut cols = Vec::with_capacity(order.len());
+        starts.push(0u32);
+        let mut pos = 0usize;
+        for tc in 0..dim {
+            while pos < order.len() && entries[order[pos] as usize].1 == tc {
+                cols.push(entries[order[pos] as usize].0 as u32);
+                pos += 1;
+            }
+            starts.push(cols.len() as u32);
+        }
+        SlotCt {
+            dim,
+            starts,
+            cols,
+            slots: order,
+        }
+    }
+
+    /// `y = −(Cᵀ·x)ᵀ`-style product reading values through the slot
+    /// indirection; same ascending accumulation as
+    /// [`SparseC::mul_neg_into`].
+    fn mul_neg_into(&self, vals: &[f64], x: &[f64], y: &mut Vec<f64>) {
+        y.clear();
+        y.resize(self.dim, 0.0);
+        for (r, yr) in y.iter_mut().enumerate() {
+            let (lo, hi) = (self.starts[r] as usize, self.starts[r + 1] as usize);
+            let mut acc = 0.0;
+            for (c, s) in self.cols[lo..hi].iter().zip(self.slots[lo..hi].iter()) {
+                acc += vals[*s as usize] * x[*c as usize];
+            }
+            *yr = -acc;
+        }
+    }
+}
+
+/// Systems below this MNA dimension stay on the dense LU path: at that
+/// scale the dense factor's tight loops beat the sparse machinery's
+/// indirection, and — just as important — small benchmark circuits
+/// (Simple OTA's ac jig is dim 24) keep *bit-identical* behaviour with
+/// the pre-sparse code.
+pub const SPARSE_DIM_MIN: usize = 25;
+
+/// A reusable analysis engine bound to one circuit *structure*.
+///
+/// Built once per [`LinearSystem`] topology (at plan-compile time in
+/// the incremental evaluator), it decides dense vs sparse by dimension,
+/// performs the sparse **symbolic** factorization exactly once, and
+/// afterwards serves every re-stamped set of element values with an
+/// allocation-free numeric refactor. The dense mode carries no state at
+/// all — it is the exact pre-existing `Lu::factor`-per-call path.
+#[derive(Debug, Clone)]
+pub struct AweEngine {
+    inner: EngineInner,
+}
+
+#[derive(Debug, Clone)]
+enum EngineInner {
+    Dense,
+    Sparse(Box<SparseEngine>),
+}
+
+#[derive(Debug, Clone)]
+struct SparseEngine {
+    /// Owned copy of the stamping map: pattern + replay slots.
+    map: SparseStampMap,
+    /// Symbolic+numeric factor of `G` on the union pattern.
+    lu: SparseLu,
+    /// Same symbolic structure, refactored over `G + σC` values for
+    /// the shifted re-expansion.
+    shift_lu: SparseLu,
+    /// Structural `Cᵀ` rows with slots into `c_vals`.
+    ct: SlotCt,
+    /// Values parallel to the union pattern, refreshed per re-stamp.
+    g_vals: Vec<f64>,
+    c_vals: Vec<f64>,
+    shift_vals: Vec<f64>,
+    /// Reused adjoint-chain buffers: after the first batch the steady
+    /// state performs no heap allocation per move.
+    ws: AdjointWs,
+}
+
+/// Reusable buffers for the sparse adjoint solve chain.
+#[derive(Debug, Clone, Default)]
+struct AdjointWs {
+    /// One adjoint vector set (`2q` vectors) per distinct probe seen in
+    /// a batch, indexed in probe-first-appearance order.
+    pool: Vec<Vec<Vec<f64>>>,
+    r: Vec<f64>,
+    scratch: Vec<f64>,
+}
+
+impl AweEngine {
+    /// Chooses and prepares the engine for one system's structure.
+    ///
+    /// Small systems (`dim < `[`SPARSE_DIM_MIN`]) stay dense. Larger
+    /// ones get a one-time symbolic factorization of the `G ∪ C`
+    /// pattern; should that pattern be structurally singular (it never
+    /// is for well-posed MNA, whose diagonals carry GMIN ties), the
+    /// engine falls back to dense, counted as `sparse_fallback`.
+    pub fn for_system(sys: &LinearSystem) -> AweEngine {
+        let map = sys.stamp_map();
+        if map.dim() < SPARSE_DIM_MIN {
+            return AweEngine {
+                inner: EngineInner::Dense,
+            };
+        }
+        match SparseLu::symbolic(map.dim(), map.entries()) {
+            Ok(lu) => {
+                let ct = SlotCt::build(map.dim(), map.entries(), &map.c_entry_indices());
+                AweEngine {
+                    inner: EngineInner::Sparse(Box::new(SparseEngine {
+                        shift_lu: lu.clone(),
+                        lu,
+                        ct,
+                        map: map.clone(),
+                        g_vals: Vec::new(),
+                        c_vals: Vec::new(),
+                        shift_vals: Vec::new(),
+                        ws: AdjointWs::default(),
+                    })),
+                }
+            }
+            Err(_) => {
+                oblx_telemetry::incr(oblx_telemetry::Counter::SparseFallback);
+                AweEngine {
+                    inner: EngineInner::Dense,
+                }
+            }
+        }
+    }
+
+    /// `true` when analyses run through the sparse refactor path.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.inner, EngineInner::Sparse(_))
+    }
+
+    /// Loads element values by gathering from the system's dense
+    /// matrices — the cold path, where the system was just stamped
+    /// densely anyway. Gathered values are bit-identical to a direct
+    /// slot replay (see [`SparseStampMap`]). No-op in dense mode.
+    pub fn load(&mut self, sys: &LinearSystem) {
+        if let EngineInner::Sparse(se) = &mut self.inner {
+            sys.sparse_vals_into(&mut se.g_vals, &mut se.c_vals);
+        }
+    }
+
+    /// Direct access to the stamping map and the value arrays for the
+    /// incremental path: the caller re-stamps moved element values
+    /// straight into `(g_vals, c_vals)` via [`SparseStampMap::stamp`],
+    /// touching no dense matrix at all. `None` in dense mode — the
+    /// caller should dense-restamp its [`LinearSystem`] instead.
+    pub fn sparse_parts_mut(&mut self) -> Option<(&SparseStampMap, &mut Vec<f64>, &mut Vec<f64>)> {
+        match &mut self.inner {
+            EngineInner::Dense => None,
+            EngineInner::Sparse(se) => Some((&se.map, &mut se.g_vals, &mut se.c_vals)),
         }
     }
 }
@@ -202,9 +389,8 @@ pub fn analyze_with(
     out: OutputSelector,
     max_q: usize,
 ) -> Result<ReducedModel, AweError> {
-    let max_q = max_q.clamp(1, 12);
-    let lu = Lu::factor(sys.g.clone()).map_err(|_| AweError::SingularG)?;
-    analyze_factored(sys, &lu, &SparseC::build_transpose(&sys.c), b, out, max_q)
+    let mut models = analyze_batch(sys, &[(b, out)], max_q).map_err(|(_, e)| e)?;
+    Ok(models.pop().expect("one job in, one model out"))
 }
 
 /// [`analyze_with`] over several stimulus/probe pairs of the *same*
@@ -231,9 +417,55 @@ pub fn analyze_batch(
     jobs: &[(&[f64], OutputSelector)],
     max_q: usize,
 ) -> Result<Vec<ReducedModel>, (usize, AweError)> {
+    let mut engine = AweEngine::for_system(sys);
+    engine.load(sys);
+    analyze_batch_with(&mut engine, sys, jobs, max_q)
+}
+
+/// [`analyze_batch`] against a prebuilt [`AweEngine`], for callers that
+/// re-analyze the same structure repeatedly (the precompiled evaluation
+/// plan): the symbolic factorization is amortized across every call, so
+/// each batch costs one numeric refactor plus the solve chain.
+///
+/// In sparse mode the system's dense matrices are **not read** — the
+/// engine's value arrays (loaded via [`AweEngine::load`] or stamped via
+/// [`AweEngine::sparse_parts_mut`]) are the source of truth. A numeric
+/// refactor failure (zero pivot on the fixed pivot order) falls back to
+/// a dense factorization *reconstructed from those same values* —
+/// counted as `sparse_fallback` — so a value set that dense partial
+/// pivoting can handle is never lost to pivot-order bad luck; only if
+/// dense also fails does the batch report [`AweError::SingularG`].
+///
+/// # Errors
+///
+/// As for [`analyze_batch`].
+#[allow(clippy::type_complexity)]
+pub fn analyze_batch_with(
+    engine: &mut AweEngine,
+    sys: &LinearSystem,
+    jobs: &[(&[f64], OutputSelector)],
+    max_q: usize,
+) -> Result<Vec<ReducedModel>, (usize, AweError)> {
     let max_q = max_q.clamp(1, 12);
-    let lu = Lu::factor(sys.g.clone()).map_err(|_| (0, AweError::SingularG))?;
-    let ct = SparseC::build_transpose(&sys.c);
+    match &mut engine.inner {
+        EngineInner::Dense => dense_batch_core(&sys.g, &sys.c, jobs, max_q),
+        EngineInner::Sparse(se) => sparse_batch_core(se, jobs, max_q),
+    }
+}
+
+/// The dense batch pipeline: factor `G` once, cache adjoint vectors per
+/// distinct probe, fit each job. Shared verbatim by the dense engine
+/// mode and the sparse engine's singular-refactor fallback (which feeds
+/// it matrices reconstructed from the sparse value arrays).
+#[allow(clippy::type_complexity)]
+fn dense_batch_core(
+    g: &Mat<f64>,
+    c: &Mat<f64>,
+    jobs: &[(&[f64], OutputSelector)],
+    max_q: usize,
+) -> Result<Vec<ReducedModel>, (usize, AweError)> {
+    let lu = Lu::factor(g.clone()).map_err(|_| (0, AweError::SingularG))?;
+    let ct = SparseC::build_transpose(c);
     // Adjoint vectors per distinct probe, computed lazily on first use.
     let mut outs: Vec<OutputSelector> = Vec::new();
     let mut avs_cache: Vec<Vec<Vec<f64>>> = Vec::new();
@@ -250,37 +482,198 @@ pub fn analyze_batch(
         let mm = Moments {
             mu: avs_cache[k].iter().map(|a| dot(a, b)).collect(),
         };
-        models.push(analyze_from_moments(sys, &ct, b, *out, max_q, mm).map_err(|e| (i, e))?);
+        let model = analyze_from_moments(mm, max_q, |sigma, mu0| {
+            analyze_shifted_dense(g, c, &ct, b, *out, max_q, sigma, mu0)
+        })
+        .map_err(|e| (i, e))?;
+        models.push(model);
     }
     Ok(models)
 }
 
-/// The base + shifted-expansion model fit against a prefactored `G`
-/// (clamping `max_q` is the caller's responsibility).
-fn analyze_factored(
-    sys: &LinearSystem,
-    lu: &Lu<f64>,
-    ct: &SparseC,
-    b: &[f64],
-    out: OutputSelector,
+/// The sparse batch pipeline: one numeric refactor of `G` on the
+/// precomputed symbolic structure, then the same adjoint-cached fit loop
+/// as [`dense_batch_core`] with sparse transpose solves.
+#[allow(clippy::type_complexity)]
+fn sparse_batch_core(
+    se: &mut SparseEngine,
+    jobs: &[(&[f64], OutputSelector)],
     max_q: usize,
-) -> Result<ReducedModel, AweError> {
-    let mm = moments_factored(lu, ct, b, out, 2 * max_q);
-    analyze_from_moments(sys, ct, b, out, max_q, mm)
+) -> Result<Vec<ReducedModel>, (usize, AweError)> {
+    assert_eq!(
+        se.g_vals.len(),
+        se.map.nnz(),
+        "engine values not loaded; call AweEngine::load or stamp via sparse_parts_mut"
+    );
+    if se.lu.refactor(&se.g_vals).is_err() {
+        // The fixed pivot order met a zero/non-finite pivot. Dense
+        // partial pivoting gets the final say over the same values.
+        oblx_telemetry::incr(oblx_telemetry::Counter::SparseFallback);
+        let g = se.dense_from(&se.g_vals);
+        let c = se.dense_from(&se.c_vals);
+        return dense_batch_core(&g, &c, jobs, max_q);
+    }
+    // The workspace moves out for the duration of the loop so the
+    // shifted-fit closure can still borrow the engine mutably. An error
+    // abandons the buffers (the evaluation is failing anyway).
+    let mut ws = std::mem::take(&mut se.ws);
+    let result = sparse_batch_jobs(se, &mut ws, jobs, max_q);
+    se.ws = ws;
+    result
+}
+
+/// The per-job fit loop of [`sparse_batch_core`], with all adjoint
+/// buffers supplied by the caller-owned workspace.
+#[allow(clippy::type_complexity)]
+fn sparse_batch_jobs(
+    se: &mut SparseEngine,
+    ws: &mut AdjointWs,
+    jobs: &[(&[f64], OutputSelector)],
+    max_q: usize,
+) -> Result<Vec<ReducedModel>, (usize, AweError)> {
+    let mut outs: Vec<OutputSelector> = Vec::with_capacity(jobs.len());
+    let mut models = Vec::with_capacity(jobs.len());
+    for (i, (b, out)) in jobs.iter().enumerate() {
+        let k = match outs.iter().position(|o| *o == *out) {
+            Some(k) => k,
+            None => {
+                outs.push(*out);
+                let k = outs.len() - 1;
+                if ws.pool.len() <= k {
+                    ws.pool.resize_with(k + 1, Vec::new);
+                }
+                sparse_adjoint_vectors_into(
+                    &se.lu,
+                    &se.ct,
+                    &se.c_vals,
+                    *out,
+                    2 * max_q,
+                    &mut ws.pool[k],
+                    &mut ws.r,
+                    &mut ws.scratch,
+                );
+                k
+            }
+        };
+        let mm = Moments {
+            mu: ws.pool[k].iter().map(|a| dot(a, b)).collect(),
+        };
+        let model = analyze_from_moments(mm, max_q, |sigma, mu0| {
+            se.shifted_fit(b, *out, max_q, sigma, mu0)
+        })
+        .map_err(|e| (i, e))?;
+        models.push(model);
+    }
+    Ok(models)
+}
+
+impl SparseEngine {
+    /// Reconstructs a dense matrix from union-pattern values. Each cell
+    /// receives exactly its slot value (entries are unique), which is
+    /// bit-identical to the corresponding dense stamp — the fallback
+    /// therefore factors *the same matrix* the dense path would have.
+    fn dense_from(&self, vals: &[f64]) -> Mat<f64> {
+        let dim = self.map.dim();
+        let mut m = Mat::zeros(dim, dim);
+        for (&(r, c), &v) in self.map.entries().iter().zip(vals.iter()) {
+            m.add_at(r, c, v);
+        }
+        m
+    }
+
+    /// The shifted re-expansion on the sparse path: `G + σC` shares the
+    /// union pattern, so its values are the elementwise
+    /// `g_vals + σ·c_vals` and its factorization reuses the same
+    /// symbolic structure through `shift_lu`.
+    fn shifted_fit(
+        &mut self,
+        b: &[f64],
+        out: OutputSelector,
+        max_q: usize,
+        sigma: f64,
+        mu0_exact: f64,
+    ) -> Result<ReducedModel, AweError> {
+        self.shift_vals.clear();
+        self.shift_vals.extend(
+            self.g_vals
+                .iter()
+                .zip(self.c_vals.iter())
+                .map(|(&g, &c)| g + sigma * c),
+        );
+        self.shift_lu
+            .refactor(&self.shift_vals)
+            .map_err(|_| AweError::SingularG)?;
+        let avs = sparse_adjoint_vectors(&self.shift_lu, &self.ct, &self.c_vals, out, 2 * max_q);
+        let mu: Vec<f64> = avs.iter().map(|a| dot(a, b)).collect();
+        shifted_model_from(mu, max_q, sigma, mu0_exact)
+    }
+}
+
+/// [`adjoint_vectors`] against a sparse factorization, reading `Cᵀ`
+/// through the slot-indexed structural operator.
+fn sparse_adjoint_vectors(
+    lu: &SparseLu,
+    ct: &SlotCt,
+    c_vals: &[f64],
+    out: OutputSelector,
+    count: usize,
+) -> Vec<Vec<f64>> {
+    let mut vecs = Vec::new();
+    let (mut r, mut scratch) = (Vec::new(), Vec::new());
+    sparse_adjoint_vectors_into(lu, ct, c_vals, out, count, &mut vecs, &mut r, &mut scratch);
+    vecs
+}
+
+/// [`sparse_adjoint_vectors`] into caller-owned buffers: `vecs` is
+/// resized to `count` solutions with its inner allocations reused, so a
+/// warm workspace runs the whole chain without touching the heap.
+#[allow(clippy::too_many_arguments)]
+fn sparse_adjoint_vectors_into(
+    lu: &SparseLu,
+    ct: &SlotCt,
+    c_vals: &[f64],
+    out: OutputSelector,
+    count: usize,
+    vecs: &mut Vec<Vec<f64>>,
+    r: &mut Vec<f64>,
+    scratch: &mut Vec<f64>,
+) {
+    let n = lu.dim();
+    vecs.resize_with(count, Vec::new);
+    vecs.truncate(count);
+    r.clear();
+    r.resize(n, 0.0);
+    if let Some(i) = out.p {
+        r[i] += 1.0;
+    }
+    if let Some(i) = out.m {
+        r[i] -= 1.0;
+    }
+    for k in 0..count {
+        if k > 0 {
+            let (prev, cur) = vecs.split_at_mut(k);
+            ct.mul_neg_into(c_vals, &prev[k - 1], r);
+            lu.solve_transpose_into(r, &mut cur[0], scratch);
+        } else {
+            lu.solve_transpose_into(r, &mut vecs[0], scratch);
+        }
+    }
 }
 
 /// Fits the model from already-computed base moments, re-expanding
 /// about the estimated unity-gain crossing when the pole spread demands
-/// it. Factored out of [`analyze_factored`] so [`analyze_batch`] can
-/// feed moments taken from cached adjoint vectors.
-fn analyze_from_moments(
-    sys: &LinearSystem,
-    ct: &SparseC,
-    b: &[f64],
-    out: OutputSelector,
-    max_q: usize,
+/// it. The shift solve itself is supplied by the caller (`shifted_fit`,
+/// invoked as `shifted_fit(σ, µ0_exact)`), so the dense and sparse
+/// engines share every gate, threshold and arbitration decision in this
+/// one implementation and cannot diverge.
+fn analyze_from_moments<F>(
     mm: Moments,
-) -> Result<ReducedModel, AweError> {
+    max_q: usize,
+    shifted_fit: F,
+) -> Result<ReducedModel, AweError>
+where
+    F: FnOnce(f64, f64) -> Result<ReducedModel, AweError>,
+{
     let _span = oblx_telemetry::span(oblx_telemetry::SpanKind::AweAnalyze);
     let base = guard_model(fit_model(&mm.mu, max_q)?)?;
 
@@ -302,7 +695,8 @@ fn analyze_from_moments(
     if f_cross <= 0.0 || f_cross >= 1.0e12 || dominant <= 0.0 || w_cross < 100.0 * dominant {
         return Ok(base);
     }
-    match analyze_shifted_with(sys, ct, b, out, max_q, w_cross, mm.mu[0]) {
+    let mu0 = mm.mu[0];
+    match shifted_fit(w_cross, mu0) {
         Ok(shifted) => {
             // Arbitration without extra solves: a trustworthy shifted
             // fit must also capture the dominant pole (it lies within a
@@ -314,7 +708,6 @@ fn analyze_from_moments(
                 .zip(shifted.residues().iter())
                 .map(|(&p, &k)| -k / p)
                 .fold(Complex::ZERO, |a, b| a + b);
-            let mu0 = mm.mu[0];
             let consistent = (h0.re - mu0).abs() <= 0.2 * mu0.abs().max(1e-12)
                 && h0.im.abs() <= 0.05 * mu0.abs().max(1e-12);
             if consistent && shifted.is_stable() {
@@ -373,8 +766,9 @@ pub fn analyze_shifted(
     let b = sys
         .input_vector(source)
         .ok_or_else(|| AweError::UnknownSource(source.to_string()))?;
-    analyze_shifted_with(
-        sys,
+    analyze_shifted_dense(
+        &sys.g,
+        &sys.c,
         &SparseC::build_transpose(&sys.c),
         &b,
         out,
@@ -384,16 +778,18 @@ pub fn analyze_shifted(
     )
 }
 
-/// [`analyze_shifted`] with a precomputed stimulus vector and
-/// compressed `Cᵀ` rows. The adjoint recurrence runs against
+/// [`analyze_shifted`] on dense matrices with a precomputed stimulus
+/// vector and compressed `Cᵀ` rows. The adjoint recurrence runs against
 /// `(G + σC)ᵀ` via the transpose solve of the shifted factorization —
 /// the same [`moments_factored`] implementation as the base expansion.
 ///
 /// # Errors
 ///
 /// [`AweError::SingularG`] when `(G + σC)` cannot be factored.
-fn analyze_shifted_with(
-    sys: &LinearSystem,
+#[allow(clippy::too_many_arguments)]
+fn analyze_shifted_dense(
+    g: &Mat<f64>,
+    c: &Mat<f64>,
     ct: &SparseC,
     b: &[f64],
     out: OutputSelector,
@@ -403,11 +799,11 @@ fn analyze_shifted_with(
 ) -> Result<ReducedModel, AweError> {
     let max_q = max_q.clamp(1, 12);
     // Shifted system matrix G + σC (real for real σ).
-    let dim = sys.g.rows();
-    let mut gs = sys.g.clone();
+    let dim = g.rows();
+    let mut gs = g.clone();
     for r in 0..dim {
         for cc in 0..dim {
-            let cv = sys.c.get(r, cc);
+            let cv = c.get(r, cc);
             if cv != 0.0 {
                 gs.add_at(r, cc, sigma * cv);
             }
@@ -415,9 +811,20 @@ fn analyze_shifted_with(
     }
     let lu = Lu::factor(gs).map_err(|_| AweError::SingularG)?;
     let mm = moments_factored(&lu, ct, b, out, 2 * max_q);
-    let mu = mm.mu;
+    shifted_model_from(mm.mu, max_q, sigma, mu0_exact)
+}
+
+/// The frame-translation tail of every shifted expansion: fit the local
+/// (`u`-plane) moments, translate poles back by `p = u + σ` (residues
+/// are frame-invariant) and pin the dc value to the exact `µ0`. Shared
+/// by the dense and sparse shifted paths.
+fn shifted_model_from(
+    mu: Vec<f64>,
+    max_q: usize,
+    sigma: f64,
+    mu0_exact: f64,
+) -> Result<ReducedModel, AweError> {
     let local = fit_model(&mu, max_q)?;
-    // Translate poles back to the s-plane; residues are frame-invariant.
     let poles: Vec<Complex> = local
         .poles()
         .iter()
@@ -824,6 +1231,157 @@ c3 out 0 7.95775p
             .unwrap();
         assert!((p.re + 1000.0).abs() < 1e-3, "pole = {p}");
         assert!((model.dc_gain() - 1.0).abs() < 1e-9);
+    }
+
+    /// A ladder long enough to cross [`SPARSE_DIM_MIN`]: `sections` RC
+    /// stages behind a unity vsource. Dim = sections + 2 (input node +
+    /// branch row).
+    fn ladder(sections: usize) -> LinearSystem {
+        let mut src = String::from(".jig j\nvin in 0 0 ac 1\n");
+        let mut prev = "in".to_string();
+        for k in 0..sections {
+            let node = format!("n{k}");
+            src.push_str(&format!("r{k} {prev} {node} 1k\nc{k} {node} 0 1n\n"));
+            prev = node;
+        }
+        src.push_str(".endjig\n");
+        sys(&src)
+    }
+
+    #[test]
+    fn small_system_stays_dense() {
+        let s = sys(".jig j\nvin in 0 0 ac 1\nr1 in out 1k\nc1 out 0 1u\n.endjig\n");
+        assert!(s.dim() < SPARSE_DIM_MIN);
+        assert!(!AweEngine::for_system(&s).is_sparse());
+    }
+
+    #[test]
+    fn big_system_goes_sparse() {
+        let s = ladder(24);
+        assert!(s.dim() >= SPARSE_DIM_MIN, "dim = {}", s.dim());
+        assert!(AweEngine::for_system(&s).is_sparse());
+    }
+
+    #[test]
+    fn sparse_engine_matches_dense_core_on_big_ladder() {
+        let s = ladder(24);
+        let out = s.output_selector("n23", None).unwrap();
+        let b = s.input_vector("vin").unwrap();
+        let jobs: Vec<(&[f64], OutputSelector)> = vec![(&b, out)];
+        // Engine-routed (sparse) vs the dense pipeline on the same
+        // dense-stamped matrices.
+        let sparse = analyze_batch(&s, &jobs, 6).unwrap();
+        let dense = dense_batch_core(&s.g, &s.c, &jobs, 6).unwrap();
+        assert_eq!(sparse.len(), 1);
+        let (ms, md) = (&sparse[0], &dense[0]);
+        assert_eq!(ms.order(), md.order());
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-300);
+        assert!(rel(ms.dc_value(), md.dc_value()) < 1e-9);
+        for (ps, pd) in ms.poles().iter().zip(md.poles().iter()) {
+            assert!(
+                (*ps - *pd).norm() < 1e-6 * pd.norm(),
+                "pole drift: {ps} vs {pd}"
+            );
+        }
+        // The two models evaluate identically across the band (the
+        // reduced model itself is a q-pole approximation of the 20-pole
+        // ladder, so exactness vs the direct ac solve is not the claim
+        // here — engine equivalence is).
+        for f in [10.0, 1e3, 1e4, 1e6] {
+            let w = oblx_linalg::Complex::new(0.0, 2.0 * std::f64::consts::PI * f);
+            let (hs, hd) = (ms.eval(w).norm(), md.eval(w).norm());
+            assert!(rel(hs, hd) < 1e-6, "f={f}: sparse {hs} vs dense {hd}");
+        }
+        // And near dc, where the fit is tight, both track the exact
+        // response.
+        let w = oblx_linalg::Complex::new(0.0, 2.0 * std::f64::consts::PI * 10.0);
+        let exact = s.transfer("vin", out, w.im).unwrap().norm();
+        assert!((ms.eval(w).norm() - exact).abs() / exact < 1e-3);
+    }
+
+    #[test]
+    fn sparse_batch_shares_adjoints_bit_identically() {
+        // Two jobs with the same probe but different stimuli must match
+        // two independent single-job analyses bit for bit — the adjoint
+        // dividend holds on the sparse path too.
+        let s = ladder(24);
+        let out = s.output_selector("n23", None).unwrap();
+        let b1 = s.input_vector("vin").unwrap();
+        let mut b2 = b1.clone();
+        for v in &mut b2 {
+            *v *= 2.0;
+        }
+        let jobs: Vec<(&[f64], OutputSelector)> = vec![(&b1, out), (&b2, out)];
+        let batch = analyze_batch(&s, &jobs, 5).unwrap();
+        let solo1 = analyze_with(&s, &b1, out, 5).unwrap();
+        let solo2 = analyze_with(&s, &b2, out, 5).unwrap();
+        for (m, solo) in batch.iter().zip([&solo1, &solo2]) {
+            assert_eq!(m.dc_value().to_bits(), solo.dc_value().to_bits());
+            assert_eq!(m.poles().len(), solo.poles().len());
+            for (a, b) in m.poles().iter().zip(solo.poles().iter()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+
+    /// Degenerate-jig regression: a sparse-sized system whose union
+    /// pattern is structurally sound (node `x` has a diagonal entry via
+    /// its capacitors) but whose `G` is numerically singular — `x`
+    /// floats at dc, its `G` row is exactly zero. The sparse refactor
+    /// must fail cleanly on the zero pivot, fall back to dense, and
+    /// surface the same [`AweError::SingularG`] the dense path reports —
+    /// never a panic or silent NaNs.
+    #[test]
+    fn degenerate_jig_reports_singular_not_panic() {
+        let mut src = String::from(".jig j\nvin in 0 5 ac 1\n");
+        let mut prev = "in".to_string();
+        for k in 0..24 {
+            let node = format!("n{k}");
+            src.push_str(&format!("r{k} {prev} {node} 1k\n"));
+            prev = node;
+        }
+        // Node x couples only capacitively: dc-floating.
+        src.push_str("cx x n0 1p\ncy x 0 1p\n.endjig\n");
+        let p = parse_problem(&src).unwrap();
+        let flat = p.jigs[0].netlist.flatten(&p.subckts).unwrap();
+        let ckt = SizedCircuit::build(&flat, &HashMap::new(), &ModelLibrary::new()).unwrap();
+        // No dc solve (it would fail the same way): linear-only system.
+        let s = LinearSystem::from_device_ops(&ckt, &[], &[], &[]);
+        assert!(s.dim() >= SPARSE_DIM_MIN, "dim = {}", s.dim());
+        assert!(AweEngine::for_system(&s).is_sparse());
+        let out = s.output_selector("n23", None).unwrap();
+        match analyze(&s, "vin", out, 4) {
+            Err(AweError::SingularG) => {}
+            other => panic!("expected SingularG, got {other:?}"),
+        }
+    }
+
+    /// Structurally singular sparse-sized patterns (two ideal vsources
+    /// in parallel: identical branch rows) are demoted to the dense
+    /// engine at symbolic time, whose partial pivoting then reports the
+    /// numeric singularity.
+    #[test]
+    fn structurally_singular_jig_demotes_to_dense() {
+        let mut src = String::from(".jig j\nv1 in 0 5 ac 1\nv2 in 0 5\n");
+        let mut prev = "in".to_string();
+        for k in 0..24 {
+            let node = format!("n{k}");
+            src.push_str(&format!("r{k} {prev} {node} 1k\n"));
+            prev = node;
+        }
+        src.push_str(".endjig\n");
+        let p = parse_problem(&src).unwrap();
+        let flat = p.jigs[0].netlist.flatten(&p.subckts).unwrap();
+        let ckt = SizedCircuit::build(&flat, &HashMap::new(), &ModelLibrary::new()).unwrap();
+        let s = LinearSystem::from_device_ops(&ckt, &[], &[], &[]);
+        assert!(s.dim() >= SPARSE_DIM_MIN, "dim = {}", s.dim());
+        assert!(!AweEngine::for_system(&s).is_sparse());
+        let out = s.output_selector("n23", None).unwrap();
+        match analyze(&s, "v1", out, 4) {
+            Err(AweError::SingularG) => {}
+            other => panic!("expected SingularG, got {other:?}"),
+        }
     }
 
     #[test]

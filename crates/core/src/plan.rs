@@ -36,8 +36,8 @@
 use crate::astrx::{determined_voltages, CompiledProblem};
 use crate::cost::{area_of, power_of, score_with, CostBreakdown, EvalFailure, MeasureSource};
 use crate::weights::AdaptiveWeights;
-use oblx_awe::ReducedModel;
-use oblx_devices::{BjtOp, DiodeOp, MosOp};
+use oblx_awe::{AweEngine, ReducedModel};
+use oblx_devices::{BjtLanes, BjtOp, DiodeLanes, DiodeOp, MosLanes, MosOp};
 use oblx_linalg::Mat;
 use oblx_mna::{LinElement, LinearSystem, OutputSelector, SizedCircuit};
 use oblx_netlist::{ElementKind, EvalContext, EvalError, Expr, Netlist};
@@ -209,6 +209,10 @@ struct JigPlan {
     analyses: Vec<AnalysisPlan>,
     ckt_template: SizedCircuit,
     sys_template: LinearSystem,
+    /// Analysis-engine template: dense for small jigs, otherwise the
+    /// sparse engine with its **symbolic factorization already done** —
+    /// slots clone it, so per move only a numeric refactor runs.
+    engine_template: AweEngine,
 }
 
 impl JigPlan {
@@ -247,6 +251,13 @@ pub(crate) struct EvalPlan {
     jigs: Vec<JigPlan>,
     bias_template: SizedCircuit,
     awe_order: usize,
+    /// Bias-device indices grouped by model card, for SoA batched
+    /// evaluation: all devices of one group share identical model
+    /// parameters, so one [`oblx_devices::MosModel`] drives the whole
+    /// lane batch and its parameter block is read once per group.
+    mos_groups: Vec<Vec<usize>>,
+    bjt_groups: Vec<Vec<usize>>,
+    diode_groups: Vec<Vec<usize>>,
 }
 
 impl EvalPlan {
@@ -367,6 +378,7 @@ impl EvalPlan {
                 jigs[k].analyses.extend(analyses);
             } else {
                 jig_sources.push(&jig.netlist);
+                let engine_template = AweEngine::for_system(&sys);
                 jigs.push(JigPlan {
                     bindings,
                     mos_bind,
@@ -375,9 +387,14 @@ impl EvalPlan {
                     analyses,
                     ckt_template: ckt,
                     sys_template: sys,
+                    engine_template,
                 });
             }
         }
+
+        let mos_groups = group_by_model(bias.mosfets.iter().map(|m| m.model.name()));
+        let bjt_groups = group_by_model(bias.bjts.iter().map(|q| q.model.name()));
+        let diode_groups = group_by_model(bias.diodes.iter().map(|d| d.model.name()));
 
         Some(EvalPlan {
             user_names,
@@ -388,6 +405,9 @@ impl EvalPlan {
             jigs,
             bias_template: bias,
             awe_order,
+            mos_groups,
+            bjt_groups,
+            diode_groups,
         })
     }
 
@@ -407,6 +427,25 @@ impl EvalPlan {
                 .enumerate()
                 .all(|(i, (a, b))| a.to_bits() == b.to_bits() || !self.bias_linear_var[i])
     }
+}
+
+/// Partitions device indices into groups sharing a model card. Devices
+/// referencing the same `.model` card were built from one library entry
+/// and carry identical parameters, so name equality is parameter
+/// equality. First-appearance order keeps grouping deterministic.
+fn group_by_model<'a>(names: impl Iterator<Item = &'a str>) -> Vec<Vec<usize>> {
+    let mut keys: Vec<&str> = Vec::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, name) in names.enumerate() {
+        match keys.iter().position(|k| *k == name) {
+            Some(g) => groups[g].push(i),
+            None => {
+                keys.push(name);
+                groups.push(vec![i]);
+            }
+        }
+    }
+    groups
 }
 
 /// Structural equality of two flattened jig netlists *ignoring ac
@@ -530,9 +569,131 @@ fn bindings_for(
 struct JigSlot {
     ckt: SizedCircuit,
     sys: LinearSystem,
+    /// Cloned from the plan's template: symbolic structure shared, value
+    /// arrays private to this slot.
+    engine: AweEngine,
     mos_ops: Vec<MosOp>,
     bjt_ops: Vec<BjtOp>,
     diode_ops: Vec<DiodeOp>,
+}
+
+/// Reusable gather/scatter buffers for SoA batched device evaluation.
+///
+/// Selected devices of one model group are gathered into contiguous
+/// lanes, evaluated in one [`oblx_devices::MosModel::op_batch`] call
+/// (bit-identical to per-device scalar calls), and scattered back to
+/// the slot's ops arrays through the recorded indices. All buffers keep
+/// their capacity across updates, so the steady state allocates nothing.
+#[derive(Debug, Clone, Default)]
+struct BatchWs {
+    mos_lanes: MosLanes,
+    bjt_lanes: BjtLanes,
+    diode_lanes: DiodeLanes,
+    /// Device indices gathered for the current group, parallel to the
+    /// lanes; drives the scatter of batch results.
+    idx: Vec<usize>,
+    mos_out: Vec<MosOp>,
+    bjt_out: Vec<BjtOp>,
+    diode_out: Vec<DiodeOp>,
+}
+
+impl BatchWs {
+    fn eval_mos(
+        &mut self,
+        bias: &SizedCircuit,
+        x: &[f64],
+        groups: &[Vec<usize>],
+        ops: &mut [MosOp],
+        select: impl Fn(usize) -> bool,
+    ) {
+        let volt = |n: Option<usize>| n.map_or(0.0, |i| x[i]);
+        for g in groups {
+            self.mos_lanes.clear();
+            self.idx.clear();
+            for &i in g {
+                if select(i) {
+                    let m = &bias.mosfets[i];
+                    self.mos_lanes
+                        .push(m.w, m.l, volt(m.d), volt(m.g), volt(m.s), volt(m.b));
+                    self.idx.push(i);
+                }
+            }
+            if self.idx.is_empty() {
+                continue;
+            }
+            self.mos_out.clear();
+            bias.mosfets[g[0]]
+                .model
+                .op_batch(&self.mos_lanes, &mut self.mos_out);
+            for (&i, op) in self.idx.iter().zip(&self.mos_out) {
+                ops[i] = *op;
+            }
+        }
+    }
+
+    fn eval_bjt(
+        &mut self,
+        bias: &SizedCircuit,
+        x: &[f64],
+        groups: &[Vec<usize>],
+        ops: &mut [BjtOp],
+        select: impl Fn(usize) -> bool,
+    ) {
+        let volt = |n: Option<usize>| n.map_or(0.0, |i| x[i]);
+        for g in groups {
+            self.bjt_lanes.clear();
+            self.idx.clear();
+            for &i in g {
+                if select(i) {
+                    let q = &bias.bjts[i];
+                    self.bjt_lanes.push(q.area, volt(q.c), volt(q.b), volt(q.e));
+                    self.idx.push(i);
+                }
+            }
+            if self.idx.is_empty() {
+                continue;
+            }
+            self.bjt_out.clear();
+            bias.bjts[g[0]]
+                .model
+                .op_batch(&self.bjt_lanes, &mut self.bjt_out);
+            for (&i, op) in self.idx.iter().zip(&self.bjt_out) {
+                ops[i] = *op;
+            }
+        }
+    }
+
+    fn eval_diode(
+        &mut self,
+        bias: &SizedCircuit,
+        x: &[f64],
+        groups: &[Vec<usize>],
+        ops: &mut [DiodeOp],
+        select: impl Fn(usize) -> bool,
+    ) {
+        let volt = |n: Option<usize>| n.map_or(0.0, |i| x[i]);
+        for g in groups {
+            self.diode_lanes.clear();
+            self.idx.clear();
+            for &i in g {
+                if select(i) {
+                    let d = &bias.diodes[i];
+                    self.diode_lanes.push(d.area, volt(d.a) - volt(d.k));
+                    self.idx.push(i);
+                }
+            }
+            if self.idx.is_empty() {
+                continue;
+            }
+            self.diode_out.clear();
+            bias.diodes[g[0]]
+                .model
+                .op_batch(&self.diode_lanes, &mut self.diode_out);
+            for (&i, op) in self.idx.iter().zip(&self.diode_out) {
+                ops[i] = *op;
+            }
+        }
+    }
 }
 
 /// One materialized configuration: everything derived from a specific
@@ -552,6 +713,9 @@ pub(crate) struct Slot {
     mos_ops: Vec<MosOp>,
     bjt_ops: Vec<BjtOp>,
     diode_ops: Vec<DiodeOp>,
+    /// SoA gather/scatter workspace for batched device evaluation
+    /// (reused across updates; see [`oblx_devices::batch`]).
+    batch: BatchWs,
     /// KCL conductance matrix and source vector (stamped with unit
     /// source scale, exactly as [`crate::cost::kcl_residual`]); reused
     /// across incremental updates because linear values are frozen on
@@ -579,6 +743,7 @@ impl Slot {
             mos_ops: Vec::new(),
             bjt_ops: Vec::new(),
             diode_ops: Vec::new(),
+            batch: BatchWs::default(),
             kcl_g: Mat::zeros(dim, dim),
             kcl_rhs: vec![0.0; dim],
             residual: vec![0.0; dim],
@@ -588,6 +753,7 @@ impl Slot {
                 .map(|j| JigSlot {
                     ckt: j.ckt_template.clone(),
                     sys: j.sys_template.clone(),
+                    engine: j.engine_template.clone(),
                     mos_ops: Vec::new(),
                     bjt_ops: Vec::new(),
                     diode_ops: Vec::new(),
@@ -668,7 +834,7 @@ impl Slot {
                 }
             }
         }
-        self.recompute_all_ops();
+        self.recompute_all_ops(plan);
         // KCL linear part: unit source scale, identical stamp order to
         // `cost::kcl_residual`.
         let n = self.bias.nodes.len();
@@ -757,6 +923,9 @@ impl Slot {
         }
         // 3. Re-evaluate devices whose geometry or terminal voltages
         //    changed; operating points are pure functions of both.
+        //    Two passes: flag the dirty set, then batch-evaluate it per
+        //    model group through the SoA lanes (bit-identical to the
+        //    scalar calls this replaced).
         {
             let Slot {
                 bias,
@@ -764,31 +933,29 @@ impl Slot {
                 mos_ops,
                 bjt_ops,
                 diode_ops,
+                batch,
                 ..
             } = &mut *self;
             let x: &[f64] = x;
-            let volt = |n: Option<usize>| n.map_or(0.0, |i| x[i]);
             let moved = |n: Option<usize>| n.is_some_and(|i| node_changed[i]);
             for (i, m) in bias.mosfets.iter().enumerate() {
-                if mos_dirty[i] || moved(m.d) || moved(m.g) || moved(m.s) || moved(m.b) {
+                if moved(m.d) || moved(m.g) || moved(m.s) || moved(m.b) {
                     mos_dirty[i] = true;
-                    mos_ops[i] = m
-                        .model
-                        .op(m.w, m.l, volt(m.d), volt(m.g), volt(m.s), volt(m.b));
                 }
             }
             for (i, q) in bias.bjts.iter().enumerate() {
-                if bjt_dirty[i] || moved(q.c) || moved(q.b) || moved(q.e) {
+                if moved(q.c) || moved(q.b) || moved(q.e) {
                     bjt_dirty[i] = true;
-                    bjt_ops[i] = q.model.op(q.area, volt(q.c), volt(q.b), volt(q.e));
                 }
             }
             for (i, d) in bias.diodes.iter().enumerate() {
-                if diode_dirty[i] || moved(d.a) || moved(d.k) {
+                if moved(d.a) || moved(d.k) {
                     diode_dirty[i] = true;
-                    diode_ops[i] = d.model.op(d.area, volt(d.a) - volt(d.k));
                 }
             }
+            batch.eval_mos(bias, x, &plan.mos_groups, mos_ops, |i| mos_dirty[i]);
+            batch.eval_bjt(bias, x, &plan.bjt_groups, bjt_ops, |i| bjt_dirty[i]);
+            batch.eval_diode(bias, x, &plan.diode_groups, diode_ops, |i| diode_dirty[i]);
         }
         // 4. Residual: full recompute from the cached linear stamps.
         self.recompute_residual();
@@ -818,35 +985,28 @@ impl Slot {
         Ok(())
     }
 
-    /// Recomputes every device operating point (plan-full path).
-    fn recompute_all_ops(&mut self) {
+    /// Recomputes every device operating point (plan-full path) through
+    /// the SoA batch evaluators, one batch per model group.
+    fn recompute_all_ops(&mut self, plan: &EvalPlan) {
         let Slot {
             bias,
             x,
             mos_ops,
             bjt_ops,
             diode_ops,
+            batch,
             ..
         } = self;
         let x: &[f64] = x;
-        let volt = |n: Option<usize>| n.map_or(0.0, |i| x[i]);
         mos_ops.clear();
-        mos_ops.extend(bias.mosfets.iter().map(|m| {
-            m.model
-                .op(m.w, m.l, volt(m.d), volt(m.g), volt(m.s), volt(m.b))
-        }));
+        mos_ops.resize(bias.mosfets.len(), MosOp::default());
         bjt_ops.clear();
-        bjt_ops.extend(
-            bias.bjts
-                .iter()
-                .map(|q| q.model.op(q.area, volt(q.c), volt(q.b), volt(q.e))),
-        );
+        bjt_ops.resize(bias.bjts.len(), BjtOp::default());
         diode_ops.clear();
-        diode_ops.extend(
-            bias.diodes
-                .iter()
-                .map(|d| d.model.op(d.area, volt(d.a) - volt(d.k))),
-        );
+        diode_ops.resize(bias.diodes.len(), DiodeOp::default());
+        batch.eval_mos(bias, x, &plan.mos_groups, mos_ops, |_| true);
+        batch.eval_bjt(bias, x, &plan.bjt_groups, bjt_ops, |_| true);
+        batch.eval_diode(bias, x, &plan.diode_groups, diode_ops, |_| true);
     }
 
     /// `f = G·x − rhs + device currents`, identical arithmetic and
@@ -906,8 +1066,24 @@ impl JigSlot {
         self.diode_ops.clear();
         self.diode_ops
             .extend(jp.diode_bind.iter().map(|&i| diode_ops[i]));
-        self.sys
-            .restamp(&self.ckt, &self.mos_ops, &self.bjt_ops, &self.diode_ops);
+        // Sparse engines re-stamp element values straight into the
+        // engine's slot arrays — no dense matrix is touched on the hot
+        // path. (Slot replay is bit-identical to dense stamping, so the
+        // cold path, which gathers from its dense restamp, factors the
+        // same numbers.) Dense engines keep the dense restamp.
+        if let Some((map, g_vals, c_vals)) = self.engine.sparse_parts_mut() {
+            map.stamp(
+                &self.ckt,
+                &self.mos_ops,
+                &self.bjt_ops,
+                &self.diode_ops,
+                g_vals,
+                c_vals,
+            );
+        } else {
+            self.sys
+                .restamp(&self.ckt, &self.mos_ops, &self.bjt_ops, &self.diode_ops);
+        }
         // One factorization serves every analysis of the jig; each
         // fitted model is bit-identical to a standalone `analyze_with`.
         let jobs: Vec<(&[f64], OutputSelector)> = jp
@@ -915,7 +1091,7 @@ impl JigSlot {
             .iter()
             .map(|a| (a.b.as_slice(), a.out))
             .collect();
-        match oblx_awe::analyze_batch(&self.sys, &jobs, awe_order) {
+        match oblx_awe::analyze_batch_with(&mut self.engine, &self.sys, &jobs, awe_order) {
             Ok(fitted) => {
                 for (a, model) in jp.analyses.iter().zip(fitted) {
                     models[a.flat] = Some(model);
@@ -1061,5 +1237,38 @@ mod tests {
         assert_eq!(plan.analysis_names.len(), 3, "three analyses expected");
         assert_eq!(plan.jigs.len(), 1, "structurally identical jigs merged");
         assert_eq!(plan.jigs[0].analyses.len(), 3);
+    }
+
+    /// Engine crossover: the Simple OTA jig (dim 24) must stay on the
+    /// dense path — its synthesis results are bit-identical to the
+    /// pre-sparse code — while the Two-Stage jig (dim 29) gets the
+    /// sparse engine with its symbolic factorization done at
+    /// plan-compile time.
+    #[test]
+    fn engine_crossover_matches_bench_dims() {
+        let ota = compile(
+            bench_suite::by_name("Simple OTA")
+                .unwrap()
+                .problem()
+                .unwrap(),
+        )
+        .unwrap();
+        let plan = EvalPlan::build(&ota, AWE_ORDER).expect("plannable");
+        assert!(
+            plan.jigs.iter().all(|j| !j.engine_template.is_sparse()),
+            "Simple OTA must stay dense"
+        );
+        let ts = compile(
+            bench_suite::by_name("Two-Stage")
+                .unwrap()
+                .problem()
+                .unwrap(),
+        )
+        .unwrap();
+        let plan = EvalPlan::build(&ts, AWE_ORDER).expect("plannable");
+        assert!(
+            plan.jigs.iter().all(|j| j.engine_template.is_sparse()),
+            "Two-Stage must use the sparse engine"
+        );
     }
 }

@@ -1,0 +1,273 @@
+//! Structure-of-arrays batched device evaluation.
+//!
+//! The incremental cost evaluator re-evaluates device operating points
+//! tens of thousands of times per synthesis. Walking the instance list
+//! (an array of structs, each dragging its model parameters, node
+//! indices and name along) costs a scattered cache line per device and
+//! gives the compiler nothing to vectorize over. A [`MosLanes`] batch
+//! instead carries the per-evaluation inputs — geometry and terminal
+//! voltages — as parallel contiguous arrays, grouped by model, so the
+//! model-parameter block is loaded once per *group* rather than once
+//! per device and the inner loop touches only dense `f64` lanes.
+//!
+//! **Bit-identity contract:** `op_batch` runs the exact scalar
+//! evaluator per lane ([`MosModel::op`] and friends). Batch results are
+//! bitwise equal to the corresponding scalar calls — the evaluation
+//! plan relies on this to keep incremental and cold evaluation paths
+//! interchangeable (see `bit_identical_to_scalar_*` tests below).
+
+use crate::bjt::{BjtModel, BjtOp};
+use crate::diode::{DiodeModel, DiodeOp};
+use crate::mos::{MosModel, MosOp};
+
+/// SoA input lanes for one batch of MOS evaluations sharing a model.
+#[derive(Debug, Clone, Default)]
+pub struct MosLanes {
+    /// Channel widths (m).
+    pub w: Vec<f64>,
+    /// Channel lengths (m).
+    pub l: Vec<f64>,
+    /// Absolute terminal voltages (V).
+    pub vd: Vec<f64>,
+    /// Gate voltages (V).
+    pub vg: Vec<f64>,
+    /// Source voltages (V).
+    pub vs: Vec<f64>,
+    /// Bulk voltages (V).
+    pub vb: Vec<f64>,
+}
+
+impl MosLanes {
+    /// Empties every lane, keeping capacity.
+    pub fn clear(&mut self) {
+        self.w.clear();
+        self.l.clear();
+        self.vd.clear();
+        self.vg.clear();
+        self.vs.clear();
+        self.vb.clear();
+    }
+
+    /// Appends one evaluation's inputs.
+    pub fn push(&mut self, w: f64, l: f64, vd: f64, vg: f64, vs: f64, vb: f64) {
+        self.w.push(w);
+        self.l.push(l);
+        self.vd.push(vd);
+        self.vg.push(vg);
+        self.vs.push(vs);
+        self.vb.push(vb);
+    }
+
+    /// Lanes filled so far.
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// `true` when no lane is filled.
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+}
+
+impl MosModel {
+    /// Evaluates every lane of `lanes`, appending one [`MosOp`] per lane
+    /// to `out` in lane order. Each result is bit-identical to the
+    /// corresponding scalar [`MosModel::op`] call.
+    pub fn op_batch(&self, lanes: &MosLanes, out: &mut Vec<MosOp>) {
+        out.reserve(lanes.len());
+        for i in 0..lanes.len() {
+            out.push(self.op(
+                lanes.w[i],
+                lanes.l[i],
+                lanes.vd[i],
+                lanes.vg[i],
+                lanes.vs[i],
+                lanes.vb[i],
+            ));
+        }
+    }
+}
+
+/// SoA input lanes for one batch of BJT evaluations sharing a model.
+#[derive(Debug, Clone, Default)]
+pub struct BjtLanes {
+    /// Emitter-area scale factors.
+    pub area: Vec<f64>,
+    /// Collector voltages (V).
+    pub vc: Vec<f64>,
+    /// Base voltages (V).
+    pub vb: Vec<f64>,
+    /// Emitter voltages (V).
+    pub ve: Vec<f64>,
+}
+
+impl BjtLanes {
+    /// Empties every lane, keeping capacity.
+    pub fn clear(&mut self) {
+        self.area.clear();
+        self.vc.clear();
+        self.vb.clear();
+        self.ve.clear();
+    }
+
+    /// Appends one evaluation's inputs.
+    pub fn push(&mut self, area: f64, vc: f64, vb: f64, ve: f64) {
+        self.area.push(area);
+        self.vc.push(vc);
+        self.vb.push(vb);
+        self.ve.push(ve);
+    }
+
+    /// Lanes filled so far.
+    pub fn len(&self) -> usize {
+        self.area.len()
+    }
+
+    /// `true` when no lane is filled.
+    pub fn is_empty(&self) -> bool {
+        self.area.is_empty()
+    }
+}
+
+impl BjtModel {
+    /// Evaluates every lane of `lanes`, appending one [`BjtOp`] per lane
+    /// to `out` in lane order; bit-identical to scalar [`BjtModel::op`].
+    pub fn op_batch(&self, lanes: &BjtLanes, out: &mut Vec<BjtOp>) {
+        out.reserve(lanes.len());
+        for i in 0..lanes.len() {
+            out.push(self.op(lanes.area[i], lanes.vc[i], lanes.vb[i], lanes.ve[i]));
+        }
+    }
+}
+
+/// SoA input lanes for one batch of diode evaluations sharing a model.
+#[derive(Debug, Clone, Default)]
+pub struct DiodeLanes {
+    /// Junction-area scale factors.
+    pub area: Vec<f64>,
+    /// Anode-to-cathode voltages (V).
+    pub vd: Vec<f64>,
+}
+
+impl DiodeLanes {
+    /// Empties every lane, keeping capacity.
+    pub fn clear(&mut self) {
+        self.area.clear();
+        self.vd.clear();
+    }
+
+    /// Appends one evaluation's inputs.
+    pub fn push(&mut self, area: f64, vd: f64) {
+        self.area.push(area);
+        self.vd.push(vd);
+    }
+
+    /// Lanes filled so far.
+    pub fn len(&self) -> usize {
+        self.area.len()
+    }
+
+    /// `true` when no lane is filled.
+    pub fn is_empty(&self) -> bool {
+        self.area.is_empty()
+    }
+}
+
+impl DiodeModel {
+    /// Evaluates every lane of `lanes`, appending one [`DiodeOp`] per
+    /// lane to `out`; bit-identical to scalar [`DiodeModel::op`].
+    pub fn op_batch(&self, lanes: &DiodeLanes, out: &mut Vec<DiodeOp>) {
+        out.reserve(lanes.len());
+        for i in 0..lanes.len() {
+            out.push(self.op(lanes.area[i], lanes.vd[i]));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mos::Polarity;
+    use crate::mos_iv::MosParams;
+    use crate::{BjtParams, DiodeParams};
+
+    fn nmos() -> MosModel {
+        MosModel::new(
+            "n",
+            Polarity::Nmos,
+            MosParams {
+                kp: 1.0e-4,
+                lambda: 0.02,
+                ..MosParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn bit_identical_to_scalar_mos() {
+        let m = nmos();
+        let cases = [
+            (50e-6, 2e-6, 3.0, 2.0, 0.0, 0.0),
+            (10e-6, 1e-6, 0.1, 1.5, 0.0, -0.5),
+            (20e-6, 5e-6, -1.0, 0.2, 0.0, 0.0), // inverted
+            (80e-6, 2e-6, 5.0, 0.3, 0.0, 0.0),  // cutoff
+        ];
+        let mut lanes = MosLanes::default();
+        for &(w, l, vd, vg, vs, vb) in &cases {
+            lanes.push(w, l, vd, vg, vs, vb);
+        }
+        let mut batch = Vec::new();
+        m.op_batch(&lanes, &mut batch);
+        assert_eq!(batch.len(), cases.len());
+        for (op, &(w, l, vd, vg, vs, vb)) in batch.iter().zip(&cases) {
+            let solo = m.op(w, l, vd, vg, vs, vb);
+            assert_eq!(op.id.to_bits(), solo.id.to_bits());
+            assert_eq!(op.gm.to_bits(), solo.gm.to_bits());
+            assert_eq!(op.gds.to_bits(), solo.gds.to_bits());
+            assert_eq!(op.gmbs.to_bits(), solo.gmbs.to_bits());
+            assert_eq!(op.caps.cgs.to_bits(), solo.caps.cgs.to_bits());
+            assert_eq!(op.caps.cgd.to_bits(), solo.caps.cgd.to_bits());
+            assert_eq!(op.sat_margin.to_bits(), solo.sat_margin.to_bits());
+        }
+    }
+
+    #[test]
+    fn bit_identical_to_scalar_bjt_and_diode() {
+        let q = BjtModel::new("q", true, BjtParams::default());
+        let mut bl = BjtLanes::default();
+        bl.push(1.0, 3.0, 0.7, 0.0);
+        bl.push(2.0, 0.3, 0.65, 0.0);
+        let mut bops = Vec::new();
+        q.op_batch(&bl, &mut bops);
+        for (op, (a, vc, vb, ve)) in bops
+            .iter()
+            .zip([(1.0, 3.0, 0.7, 0.0), (2.0, 0.3, 0.65, 0.0)])
+        {
+            let solo = q.op(a, vc, vb, ve);
+            assert_eq!(op.ic.to_bits(), solo.ic.to_bits());
+            assert_eq!(op.gm_be.to_bits(), solo.gm_be.to_bits());
+        }
+
+        let d = DiodeModel::new("d", DiodeParams::default());
+        let mut dl = DiodeLanes::default();
+        dl.push(1.0, 0.6);
+        dl.push(3.0, -2.0);
+        let mut dops = Vec::new();
+        d.op_batch(&dl, &mut dops);
+        for (op, (a, vd)) in dops.iter().zip([(1.0, 0.6), (3.0, -2.0)]) {
+            let solo = d.op(a, vd);
+            assert_eq!(op.id.to_bits(), solo.id.to_bits());
+            assert_eq!(op.gd.to_bits(), solo.gd.to_bits());
+        }
+    }
+
+    #[test]
+    fn lanes_clear_keeps_capacity() {
+        let mut lanes = MosLanes::default();
+        lanes.push(1.0, 1.0, 0.0, 0.0, 0.0, 0.0);
+        let cap = lanes.w.capacity();
+        lanes.clear();
+        assert!(lanes.is_empty());
+        assert_eq!(lanes.w.capacity(), cap);
+    }
+}

@@ -77,7 +77,7 @@ impl BjtParams {
 /// ∂I_c/∂v(b,e) = gm_be    ∂I_c/∂v(c,e) = go
 /// ∂I_b/∂v(b,e) = gpi      ∂I_b/∂v(c,e) = gmu
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct BjtOp {
     /// Collector terminal current (A).
     pub ic: f64,

@@ -52,7 +52,7 @@ impl DiodeParams {
 
 /// A diode operating point: current anode→cathode, incremental
 /// conductance, and small-signal capacitance.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct DiodeOp {
     /// Junction current (A), anode → cathode.
     pub id: f64,

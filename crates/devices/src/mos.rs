@@ -24,9 +24,10 @@ impl Polarity {
 }
 
 /// Operating region reported in the terminal frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Region {
     /// Below threshold (possibly with a weak-inversion tail).
+    #[default]
     Cutoff,
     /// Linear / ohmic operation.
     Triode,
@@ -56,7 +57,7 @@ impl From<RawRegion> for Region {
 /// ∂I_d/∂v_g = gm      ∂I_d/∂v_d = gds      ∂I_d/∂v_b = gmbs
 /// ∂I_d/∂v_s = −(gm + gds + gmbs)
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct MosOp {
     /// Channel current drain→source (A), terminal frame.
     pub id: f64,

@@ -11,6 +11,10 @@
 //!   (instantiated at `f64` and `Complex`),
 //! * [`Lu`] — LU factorization with partial pivoting, reusable for the
 //!   repeated back-substitutions at the heart of AWE moment generation,
+//! * [`SparseLu`] — sparse LU with a one-time symbolic factorization
+//!   (structural Markowitz pivot order + fill-in pattern) and an
+//!   allocation-free numeric refactor, for the fixed-pattern refactor-
+//!   per-move workload of the incremental cost evaluator,
 //! * [`Poly`] — polynomial arithmetic and Aberth–Ehrlich root finding,
 //!   used to turn Padé denominators into pole sets,
 //! * [`solve_hankel`] / [`solve_vandermonde`] — the two structured solves
@@ -34,10 +38,12 @@ mod complex;
 mod lu;
 mod matrix;
 mod poly;
+mod sparse;
 mod structured;
 
 pub use complex::Complex;
 pub use lu::{solve_once, Lu, SingularMatrixError};
 pub use matrix::{Mat, Scalar};
 pub use poly::{aberth_roots, Poly};
+pub use sparse::SparseLu;
 pub use structured::{solve_hankel, solve_vandermonde};

@@ -94,11 +94,33 @@ pub enum LinElement {
     },
 }
 
+/// A destination for MNA matrix stamps.
+///
+/// The stamping code is generic over the sink so the *same* write
+/// sequence can target a dense [`Mat`], a pattern recorder (building
+/// the structural nonzero list for sparse symbolic analysis), or a
+/// slot writer that accumulates straight into sparse value storage.
+/// Because the sequence of `(r, c)` writes depends only on circuit
+/// structure — never on element values — a recorded pattern replays
+/// exactly, and per-cell accumulation order (hence floating-point
+/// rounding) is identical across all sinks.
+pub trait Stamper {
+    /// Accumulates `v` at `(r, c)`.
+    fn add(&mut self, r: usize, c: usize, v: f64);
+}
+
+impl Stamper for Mat<f64> {
+    #[inline]
+    fn add(&mut self, r: usize, c: usize, v: f64) {
+        self.add_at(r, c, v);
+    }
+}
+
 /// Adds `v` at `(r, c)` when both indices are non-ground.
 #[inline]
-pub fn stamp(mat: &mut Mat<f64>, r: Node, c: Node, v: f64) {
+pub fn stamp<S: Stamper>(mat: &mut S, r: Node, c: Node, v: f64) {
     if let (Some(r), Some(c)) = (r, c) {
-        mat.add_at(r, c, v);
+        mat.add(r, c, v);
     }
 }
 
@@ -111,7 +133,7 @@ pub fn stamp_vec(vec: &mut [f64], r: Node, v: f64) {
 }
 
 /// Stamps a conductance `g` between `p` and `m` (two-terminal pattern).
-pub fn stamp_conductance(mat: &mut Mat<f64>, p: Node, m: Node, g: f64) {
+pub fn stamp_conductance<S: Stamper>(mat: &mut S, p: Node, m: Node, g: f64) {
     stamp(mat, p, p, g);
     stamp(mat, m, m, g);
     stamp(mat, p, m, -g);
@@ -119,7 +141,7 @@ pub fn stamp_conductance(mat: &mut Mat<f64>, p: Node, m: Node, g: f64) {
 }
 
 /// Stamps a VCCS `gm·v(cp,cm)` flowing `p → m`.
-pub fn stamp_vccs(mat: &mut Mat<f64>, p: Node, m: Node, cp: Node, cm: Node, gm: f64) {
+pub fn stamp_vccs<S: Stamper>(mat: &mut S, p: Node, m: Node, cp: Node, cm: Node, gm: f64) {
     stamp(mat, p, cp, gm);
     stamp(mat, p, cm, -gm);
     stamp(mat, m, cp, -gm);
@@ -134,7 +156,7 @@ impl LinElement {
     ///
     /// Branch rows enforce their defining equations; `n` is the number
     /// of node unknowns (branch `k` lives at row/column `n + k`).
-    pub fn stamp_dc(&self, g: &mut Mat<f64>, rhs: &mut [f64], n: usize, src_scale: f64) {
+    pub fn stamp_dc<S: Stamper>(&self, g: &mut S, rhs: &mut [f64], n: usize, src_scale: f64) {
         match *self {
             LinElement::Resistor { p, m, g: cond } => stamp_conductance(g, p, m, cond),
             LinElement::Capacitor { .. } => {} // open at dc
@@ -186,7 +208,7 @@ impl LinElement {
     /// Stamps this element's **susceptance** (frequency-proportional)
     /// contributions into `c`: capacitor currents `s·C·v` and the
     /// inductor branch `−s·L·i` term.
-    pub fn stamp_ac(&self, c: &mut Mat<f64>, n: usize) {
+    pub fn stamp_ac<S: Stamper>(&self, c: &mut S, n: usize) {
         match *self {
             LinElement::Capacitor { p, m, c: cap } => stamp_conductance(c, p, m, cap),
             LinElement::Inductor { l, branch, .. } => {

@@ -48,6 +48,7 @@ pub mod dc;
 pub mod elements;
 pub mod linear;
 mod nodemap;
+pub mod sparse_map;
 pub mod sweep;
 pub mod transient;
 
@@ -56,5 +57,6 @@ pub use dc::{solve_dc, solve_dc_with, DcError, DcOptions, OpPoint};
 pub use elements::LinElement;
 pub use linear::{LinearSystem, OutputSelector};
 pub use nodemap::NodeMap;
+pub use sparse_map::SparseStampMap;
 pub use sweep::{dc_sweep, SweepPoint};
 pub use transient::{step_response, TranOptions, Waveforms};

@@ -9,10 +9,74 @@
 
 use crate::assemble::SizedCircuit;
 use crate::dc::OpPoint;
-use crate::elements::{stamp, stamp_conductance, stamp_vccs, LinElement};
+use crate::elements::{stamp, stamp_conductance, stamp_vccs, LinElement, Stamper};
+use crate::sparse_map::SparseStampMap;
 use oblx_devices::{BjtOp, DiodeOp, MosOp};
 use oblx_linalg::{Complex, Lu, Mat, SingularMatrixError};
 use std::collections::HashMap;
+
+/// Weak tie of device terminals to ground, matching the dc solve.
+pub(crate) const GMIN: f64 = 1e-12;
+
+/// Stamps every linear element and linearized device of `circuit` into
+/// the `G` and `C` sinks, in a fixed circuit-structure-determined write
+/// order.
+///
+/// This single function defines the stamping sequence for *every* sink:
+/// the dense matrices of [`LinearSystem::restamp`], the pattern
+/// recorder behind [`SparseStampMap::build`], and the slot writer of
+/// [`SparseStampMap::stamp`]. Keeping them on one code path is what
+/// makes the dense and sparse assemblies bit-identical cell by cell.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn stamp_system<SG: Stamper, SC: Stamper>(
+    g: &mut SG,
+    c: &mut SC,
+    rhs_scratch: &mut [f64],
+    n: usize,
+    circuit: &SizedCircuit,
+    mos_ops: &[MosOp],
+    bjt_ops: &[BjtOp],
+    diode_ops: &[DiodeOp],
+) {
+    for el in circuit.linear.iter() {
+        el.stamp_dc(g, rhs_scratch, n, 0.0);
+        el.stamp_ac(c, n);
+    }
+
+    for (m, mop) in circuit.mosfets.iter().zip(mos_ops.iter()) {
+        stamp_vccs(g, m.d, m.s, m.g, m.s, mop.gm);
+        stamp_conductance(g, m.d, m.s, mop.gds);
+        stamp_vccs(g, m.d, m.s, m.b, m.s, mop.gmbs);
+        stamp_conductance(c, m.g, m.s, mop.caps.cgs);
+        stamp_conductance(c, m.g, m.d, mop.caps.cgd);
+        stamp_conductance(c, m.g, m.b, mop.caps.cgb);
+        stamp_conductance(c, m.b, m.d, mop.caps.cbd);
+        stamp_conductance(c, m.b, m.s, mop.caps.cbs);
+        for node in [m.d, m.g, m.s, m.b] {
+            stamp(g, node, node, GMIN);
+        }
+    }
+    for (q, qop) in circuit.bjts.iter().zip(bjt_ops.iter()) {
+        stamp_vccs(g, q.c, q.e, q.b, q.e, qop.gm_be);
+        stamp_conductance(g, q.c, q.e, qop.go);
+        stamp_conductance(g, q.b, q.e, qop.gpi);
+        // gmu: ∂ib/∂vce VCCS into the base.
+        stamp_vccs(g, q.b, q.e, q.c, q.e, qop.gmu);
+        stamp_conductance(c, q.b, q.e, qop.cpi);
+        stamp_conductance(c, q.b, q.c, qop.cmu);
+        for node in [q.c, q.b, q.e] {
+            stamp(g, node, node, GMIN);
+        }
+    }
+
+    for (d, dop) in circuit.diodes.iter().zip(diode_ops.iter()) {
+        stamp_conductance(g, d.a, d.k, dop.gd);
+        stamp_conductance(c, d.a, d.k, dop.cd);
+        for node in [d.a, d.k] {
+            stamp(g, node, node, GMIN);
+        }
+    }
+}
 
 /// Where a named stimulus source attaches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +128,7 @@ pub struct LinearSystem {
     n_nodes: usize,
     sources: HashMap<String, SourceRef>,
     node_index: HashMap<String, usize>,
+    stamp_map: SparseStampMap,
 }
 
 impl LinearSystem {
@@ -120,9 +185,33 @@ impl LinearSystem {
             n_nodes: n,
             sources,
             node_index,
+            stamp_map: SparseStampMap::build(circuit, mos_ops, bjt_ops, diode_ops),
         };
         sys.restamp(circuit, mos_ops, bjt_ops, diode_ops);
         sys
+    }
+
+    /// The structural (value-independent) nonzero pattern of `G ∪ C`
+    /// with its element→slot write map, as recorded at build time.
+    pub fn stamp_map(&self) -> &SparseStampMap {
+        &self.stamp_map
+    }
+
+    /// Gathers the current dense `G`/`C` values into slot arrays
+    /// parallel to [`SparseStampMap::entries`]. Because dense stamping
+    /// and sparse slot replay accumulate each cell in the same
+    /// chronological order, the gathered values are bit-identical to a
+    /// direct [`SparseStampMap::stamp`] from the same operating point.
+    pub fn sparse_vals_into(&self, g_vals: &mut Vec<f64>, c_vals: &mut Vec<f64>) {
+        let entries = self.stamp_map.entries();
+        g_vals.clear();
+        c_vals.clear();
+        g_vals.reserve(entries.len());
+        c_vals.reserve(entries.len());
+        for &(r, c) in entries {
+            g_vals.push(self.g.get(r, c));
+            c_vals.push(self.c.get(r, c));
+        }
     }
 
     /// Re-stamps `G`/`C` in place from the circuit and fresh device
@@ -151,51 +240,19 @@ impl LinearSystem {
         let dim = circuit.dim();
         assert_eq!(n, self.n_nodes, "node count mismatch in restamp");
         assert_eq!(dim, self.g.rows(), "dimension mismatch in restamp");
-        let g = &mut self.g;
-        let c = &mut self.c;
-        g.clear();
-        c.clear();
+        self.g.clear();
+        self.c.clear();
         let mut rhs_scratch = vec![0.0; dim];
-
-        for el in circuit.linear.iter() {
-            el.stamp_dc(g, &mut rhs_scratch, n, 0.0);
-            el.stamp_ac(c, n);
-        }
-
-        const GMIN: f64 = 1e-12;
-        for (m, mop) in circuit.mosfets.iter().zip(mos_ops.iter()) {
-            stamp_vccs(g, m.d, m.s, m.g, m.s, mop.gm);
-            stamp_conductance(g, m.d, m.s, mop.gds);
-            stamp_vccs(g, m.d, m.s, m.b, m.s, mop.gmbs);
-            stamp_conductance(c, m.g, m.s, mop.caps.cgs);
-            stamp_conductance(c, m.g, m.d, mop.caps.cgd);
-            stamp_conductance(c, m.g, m.b, mop.caps.cgb);
-            stamp_conductance(c, m.b, m.d, mop.caps.cbd);
-            stamp_conductance(c, m.b, m.s, mop.caps.cbs);
-            for node in [m.d, m.g, m.s, m.b] {
-                stamp(g, node, node, GMIN);
-            }
-        }
-        for (q, qop) in circuit.bjts.iter().zip(bjt_ops.iter()) {
-            stamp_vccs(g, q.c, q.e, q.b, q.e, qop.gm_be);
-            stamp_conductance(g, q.c, q.e, qop.go);
-            stamp_conductance(g, q.b, q.e, qop.gpi);
-            // gmu: ∂ib/∂vce VCCS into the base.
-            stamp_vccs(g, q.b, q.e, q.c, q.e, qop.gmu);
-            stamp_conductance(c, q.b, q.e, qop.cpi);
-            stamp_conductance(c, q.b, q.c, qop.cmu);
-            for node in [q.c, q.b, q.e] {
-                stamp(g, node, node, GMIN);
-            }
-        }
-
-        for (d, dop) in circuit.diodes.iter().zip(diode_ops.iter()) {
-            stamp_conductance(g, d.a, d.k, dop.gd);
-            stamp_conductance(c, d.a, d.k, dop.cd);
-            for node in [d.a, d.k] {
-                stamp(g, node, node, GMIN);
-            }
-        }
+        stamp_system(
+            &mut self.g,
+            &mut self.c,
+            &mut rhs_scratch,
+            n,
+            circuit,
+            mos_ops,
+            bjt_ops,
+            diode_ops,
+        );
     }
 
     /// MNA dimension (nodes + branches).

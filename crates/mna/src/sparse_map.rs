@@ -1,0 +1,276 @@
+//! Precomputed element→nnz-slot stamping map for sparse MNA assembly.
+//!
+//! The write *positions* of MNA stamping depend only on circuit
+//! structure (node interning and device lists), never on element
+//! values, so one recording pass captures the full structural nonzero
+//! pattern of `G ∪ C` plus, for every chronological stamp write, the
+//! index of the nonzero slot it lands in. Re-stamping then becomes a
+//! branch-free replay: each write accumulates into its precomputed
+//! slot, producing value arrays parallel to the pattern's entry list —
+//! the exact input layout [`oblx_linalg::SparseLu`] refactors over.
+//!
+//! Because replay performs the same additions in the same per-cell
+//! order as dense stamping, the slot values are **bit-identical** to
+//! the corresponding dense matrix cells.
+
+use crate::assemble::SizedCircuit;
+use crate::elements::Stamper;
+use crate::linear::stamp_system;
+use oblx_devices::{BjtOp, DiodeOp, MosOp};
+
+/// Records write positions, ignoring values.
+#[derive(Default)]
+struct PatternRecorder {
+    writes: Vec<(u32, u32)>,
+}
+
+impl Stamper for PatternRecorder {
+    #[inline]
+    fn add(&mut self, r: usize, c: usize, _v: f64) {
+        self.writes.push((r as u32, c as u32));
+    }
+}
+
+/// Replays a recorded write sequence into slot storage.
+struct SlotWriter<'a> {
+    vals: &'a mut [f64],
+    slots: &'a [u32],
+    pos: usize,
+}
+
+impl Stamper for SlotWriter<'_> {
+    #[inline]
+    fn add(&mut self, _r: usize, _c: usize, v: f64) {
+        self.vals[self.slots[self.pos] as usize] += v;
+        self.pos += 1;
+    }
+}
+
+/// The structural `G ∪ C` nonzero pattern of one circuit, with the
+/// chronological write→slot maps that let re-stamping write straight
+/// into sparse value arrays.
+///
+/// Built once per [`crate::LinearSystem`]; shared by the `G` pattern
+/// and any shifted `G + σC` expansion (both live on the union pattern,
+/// with absent entries simply holding value zero).
+#[derive(Debug, Clone)]
+pub struct SparseStampMap {
+    dim: usize,
+    /// Union nonzero coordinates, sorted row-major, unique.
+    entries: Vec<(usize, usize)>,
+    /// Chronological `G` writes → entry index.
+    g_slots: Vec<u32>,
+    /// Chronological `C` writes → entry index.
+    c_slots: Vec<u32>,
+}
+
+impl SparseStampMap {
+    /// Records the stamping pattern of `circuit`.
+    ///
+    /// The op slices are only used to drive the (value-agnostic) write
+    /// sequence; they must be parallel to the circuit's device lists.
+    pub fn build(
+        circuit: &SizedCircuit,
+        mos_ops: &[MosOp],
+        bjt_ops: &[BjtOp],
+        diode_ops: &[DiodeOp],
+    ) -> SparseStampMap {
+        let dim = circuit.dim();
+        let n = circuit.nodes.len();
+        let mut g_rec = PatternRecorder::default();
+        let mut c_rec = PatternRecorder::default();
+        let mut rhs_scratch = vec![0.0; dim];
+        stamp_system(
+            &mut g_rec,
+            &mut c_rec,
+            &mut rhs_scratch,
+            n,
+            circuit,
+            mos_ops,
+            bjt_ops,
+            diode_ops,
+        );
+        let mut entries: Vec<(usize, usize)> = g_rec
+            .writes
+            .iter()
+            .chain(&c_rec.writes)
+            .map(|&(r, c)| (r as usize, c as usize))
+            .collect();
+        entries.sort_unstable();
+        entries.dedup();
+        let slot_of = |writes: &[(u32, u32)]| -> Vec<u32> {
+            writes
+                .iter()
+                .map(|&(r, c)| {
+                    entries
+                        .binary_search(&(r as usize, c as usize))
+                        .expect("recorded write must be in union pattern")
+                        as u32
+                })
+                .collect()
+        };
+        let g_slots = slot_of(&g_rec.writes);
+        let c_slots = slot_of(&c_rec.writes);
+        SparseStampMap {
+            dim,
+            entries,
+            g_slots,
+            c_slots,
+        }
+    }
+
+    /// MNA dimension the pattern was recorded at.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The union nonzero coordinates, sorted row-major.
+    pub fn entries(&self) -> &[(usize, usize)] {
+        &self.entries
+    }
+
+    /// Structural nonzero count of the union pattern.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Sorted, deduplicated indices into [`SparseStampMap::entries`] that
+    /// the `C` stamping sequence actually touches — the structural
+    /// nonzero pattern of `C` as a subset of the union pattern. Lets a
+    /// consumer build a compressed `C` (or `Cᵀ`) operator that skips the
+    /// union entries only `G` owns.
+    pub fn c_entry_indices(&self) -> Vec<u32> {
+        let mut idx = self.c_slots.clone();
+        idx.sort_unstable();
+        idx.dedup();
+        idx
+    }
+
+    /// Re-stamps `circuit` at fresh device operating points directly
+    /// into sparse value arrays parallel to [`SparseStampMap::entries`]
+    /// — the sparse counterpart of [`crate::LinearSystem::restamp`],
+    /// with no dense matrix touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the op slices or circuit dimensions do not match the
+    /// recorded structure.
+    pub fn stamp(
+        &self,
+        circuit: &SizedCircuit,
+        mos_ops: &[MosOp],
+        bjt_ops: &[BjtOp],
+        diode_ops: &[DiodeOp],
+        g_vals: &mut Vec<f64>,
+        c_vals: &mut Vec<f64>,
+    ) {
+        assert_eq!(self.dim, circuit.dim(), "dimension mismatch in stamp");
+        assert_eq!(mos_ops.len(), circuit.mosfets.len(), "mos op mismatch");
+        assert_eq!(bjt_ops.len(), circuit.bjts.len(), "bjt op mismatch");
+        assert_eq!(diode_ops.len(), circuit.diodes.len(), "diode op mismatch");
+        g_vals.clear();
+        g_vals.resize(self.entries.len(), 0.0);
+        c_vals.clear();
+        c_vals.resize(self.entries.len(), 0.0);
+        let mut g_w = SlotWriter {
+            vals: g_vals,
+            slots: &self.g_slots,
+            pos: 0,
+        };
+        let mut c_w = SlotWriter {
+            vals: c_vals,
+            slots: &self.c_slots,
+            pos: 0,
+        };
+        let mut rhs_scratch = vec![0.0; self.dim];
+        stamp_system(
+            &mut g_w,
+            &mut c_w,
+            &mut rhs_scratch,
+            circuit.nodes.len(),
+            circuit,
+            mos_ops,
+            bjt_ops,
+            diode_ops,
+        );
+        debug_assert_eq!(g_w.pos, self.g_slots.len(), "G write count drifted");
+        debug_assert_eq!(c_w.pos, self.c_slots.len(), "C write count drifted");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::solve_dc;
+    use crate::linear::LinearSystem;
+    use oblx_devices::process::ProcessDeck;
+    use oblx_devices::ModelLibrary;
+    use oblx_netlist::parse_problem;
+    use std::collections::HashMap;
+
+    fn amp() -> (SizedCircuit, Vec<MosOp>) {
+        let src = ".jig j\nvdd vdd 0 5\nvin g 0 1.2 ac 1\nrd vdd d 20k\n\
+                   cl d 0 1p\nm1 d g 0 0 nmos w=50u l=2u\n.endjig\n";
+        let p = parse_problem(src).unwrap();
+        let mut cards = p.models.clone();
+        cards.extend(ProcessDeck::C2Level1.cards());
+        let lib = ModelLibrary::from_cards(&cards).unwrap();
+        let flat = p.jigs[0].netlist.flatten(&p.subckts).unwrap();
+        let ckt = SizedCircuit::build(&flat, &HashMap::new(), &lib).unwrap();
+        let op = solve_dc(&ckt).unwrap();
+        (ckt, op.mos_ops)
+    }
+
+    #[test]
+    fn slot_replay_matches_dense_stamping_bitwise() {
+        let (ckt, mos) = amp();
+        let sys = LinearSystem::from_device_ops(&ckt, &mos, &[], &[]);
+        let map = sys.stamp_map();
+        let (mut g_vals, mut c_vals) = (Vec::new(), Vec::new());
+        map.stamp(&ckt, &mos, &[], &[], &mut g_vals, &mut c_vals);
+        let (mut g_ref, mut c_ref) = (Vec::new(), Vec::new());
+        sys.sparse_vals_into(&mut g_ref, &mut c_ref);
+        assert_eq!(g_vals.len(), map.nnz());
+        for i in 0..map.nnz() {
+            assert_eq!(g_vals[i].to_bits(), g_ref[i].to_bits(), "G slot {i}");
+            assert_eq!(c_vals[i].to_bits(), c_ref[i].to_bits(), "C slot {i}");
+        }
+    }
+
+    #[test]
+    fn pattern_covers_every_dense_nonzero() {
+        let (ckt, mos) = amp();
+        let sys = LinearSystem::from_device_ops(&ckt, &mos, &[], &[]);
+        let map = sys.stamp_map();
+        let dim = sys.dim();
+        for r in 0..dim {
+            for c in 0..dim {
+                if sys.g.get(r, c) != 0.0 || sys.c.get(r, c) != 0.0 {
+                    assert!(
+                        map.entries().binary_search(&(r, c)).is_ok(),
+                        "dense nonzero ({r}, {c}) missing from pattern"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restamp_with_new_ops_tracks_values() {
+        let (ckt, mut mos) = amp();
+        let sys = LinearSystem::from_device_ops(&ckt, &mos, &[], &[]);
+        let map = sys.stamp_map().clone();
+        mos[0].gm *= 2.0;
+        mos[0].caps.cgs *= 3.0;
+        let mut sys2 = sys.clone();
+        sys2.restamp(&ckt, &mos, &[], &[]);
+        let (mut g_vals, mut c_vals) = (Vec::new(), Vec::new());
+        map.stamp(&ckt, &mos, &[], &[], &mut g_vals, &mut c_vals);
+        let (mut g_ref, mut c_ref) = (Vec::new(), Vec::new());
+        sys2.sparse_vals_into(&mut g_ref, &mut c_ref);
+        for i in 0..map.nnz() {
+            assert_eq!(g_vals[i].to_bits(), g_ref[i].to_bits());
+            assert_eq!(c_vals[i].to_bits(), c_ref[i].to_bits());
+        }
+    }
+}

@@ -108,6 +108,15 @@ pub enum Counter {
     JobCorrupt,
     /// Seed tasks that panicked and were contained by the pool.
     SeedPanic,
+    /// Structural nonzeros handed to sparse symbolic analysis (summed).
+    SparseNnz,
+    /// Factor nonzeros after fill-in, as computed by symbolic analysis
+    /// (summed; compare against [`Counter::SparseNnz`] for fill ratio).
+    SparseFill,
+    /// Sparse numeric refactorizations performed.
+    SparseRefactor,
+    /// Sparse solves that fell back to the dense LU path (bad pivot).
+    SparseFallback,
     /// Number of counters (array size), not a real counter.
     Count,
 }
@@ -130,6 +139,10 @@ const COUNTER_NAMES: [&str; Counter::Count as usize] = [
     "eval_failure",
     "job_corrupt",
     "seed_panic",
+    "sparse_nnz",
+    "sparse_fill",
+    "sparse_refactor",
+    "sparse_fallback",
 ];
 
 static COUNTERS: [AtomicU64; Counter::Count as usize] = [ZERO; Counter::Count as usize];
@@ -142,11 +155,20 @@ pub enum SpanKind {
     CostEval,
     /// One AWE transfer-function analysis.
     AweAnalyze,
+    /// One sparse symbolic factorization (fill-in pattern + pivot order).
+    SparseSymbolic,
+    /// One sparse numeric refactorization over a fixed pattern.
+    SparseRefactor,
     /// Number of span kinds (array size), not a real span.
     Count,
 }
 
-const SPAN_NAMES: [&str; SpanKind::Count as usize] = ["cost_eval", "awe_analyze"];
+const SPAN_NAMES: [&str; SpanKind::Count as usize] = [
+    "cost_eval",
+    "awe_analyze",
+    "sparse_symbolic",
+    "sparse_refactor",
+];
 
 struct Hist {
     buckets: [AtomicU64; HIST_BUCKETS],
@@ -208,7 +230,8 @@ impl Hist {
     }
 }
 
-static SPAN_HISTS: [Hist; SpanKind::Count as usize] = [Hist::new(), Hist::new()];
+static SPAN_HISTS: [Hist; SpanKind::Count as usize] =
+    [Hist::new(), Hist::new(), Hist::new(), Hist::new()];
 static PIVOT_HIST: Hist = Hist::new();
 
 static MOVE_ATTEMPTS: [AtomicU64; MAX_CLASSES] = [ZERO; MAX_CLASSES];
@@ -714,6 +737,17 @@ impl Snapshot {
             self.pivot_ratio.p50 as f64,
             self.pivot_ratio.p99 as f64,
         );
+        if self.counter("sparse_nnz") > 0 {
+            let _ = writeln!(
+                out,
+                "sparse: {} refactors, {} dense fallbacks, nnz {} -> fill {} \
+                 (summed over symbolic runs)",
+                self.counter("sparse_refactor"),
+                self.counter("sparse_fallback"),
+                self.counter("sparse_nnz"),
+                self.counter("sparse_fill"),
+            );
+        }
         for (name, h) in &self.spans {
             if h.count == 0 {
                 continue;
