@@ -1,0 +1,44 @@
+//! **oblx-api** — synthesis-as-a-service: an HTTP edge in front of the
+//! `oblxd` spool.
+//!
+//! The 1994 ASTRX/OBLX loop was one designer at one workstation. The
+//! spool (`oblx-runtime`) already decouples submission from execution
+//! through the filesystem; this crate puts a network protocol on that
+//! seam so the queue can serve a team — CI bots submitting regression
+//! decks, a designer tailing a run from a laptop — without anyone
+//! needing shell access to the spool host.
+//!
+//! Everything is hand-rolled on `std::net` because the workspace
+//! vendors no web framework, and because the protocol surface we need
+//! is genuinely small — six routes, `Connection: close`, one chunked
+//! stream:
+//!
+//! * [`http`] — HTTP/1.1 request parsing and response writing, with
+//!   hard caps on head and body size and socket timeouts everywhere.
+//! * [`quota`] — per-client token buckets: burst then sustained rate,
+//!   429 beyond.
+//! * [`server`] — nonblocking accept loop, **bounded** admission queue
+//!   (full → shed with 429 at the door), worker-thread pool, graceful
+//!   shutdown off the same flag the worker pool uses.
+//! * [`routes`] — the six endpoints. Submissions are validated at the
+//!   edge with the same [`oblx_runtime::validate_job`] path the
+//!   workers use; the netlist parser's line/column diagnostics come
+//!   back as structured 4xx JSON.
+//!
+//! The binary front end lives in `src/bin/oblx-api.rs`:
+//!
+//! ```text
+//! oblx-api serve --dir SPOOL [--addr HOST:PORT] [--threads N]
+//!                [--pool-workers N | --no-pool]
+//!                [--rate R] [--burst B] [--admission N]
+//! ```
+//!
+//! By default `serve` also runs an in-process worker pool over the
+//! same spool, so one process is a complete synthesis service; with
+//! `--no-pool` it is a pure front end for separately-run `oblxd`
+//! daemons.
+
+pub mod http;
+pub mod quota;
+pub mod routes;
+pub mod server;

@@ -1,0 +1,121 @@
+//! Per-client token-bucket quotas.
+//!
+//! Each client key (the peer IP) gets a bucket holding up to `burst`
+//! tokens that refills at `rate` tokens/second. A request costs one
+//! token; an empty bucket means 429. The arithmetic runs on an
+//! injected monotonic-nanosecond clock so tests can step time
+//! deterministically instead of sleeping.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+struct Bucket {
+    /// Tokens available, fractional between refills.
+    tokens: f64,
+    /// Clock reading at the last refill.
+    last_ns: u64,
+}
+
+/// A map of token buckets keyed by client identity.
+pub struct Quota {
+    rate_per_s: f64,
+    burst: f64,
+    buckets: Mutex<HashMap<String, Bucket>>,
+    epoch: Instant,
+}
+
+impl Quota {
+    /// A limiter granting `burst` immediate requests per client and
+    /// `rate_per_s` sustained. Non-positive `rate_per_s` disables
+    /// limiting entirely (every `admit` succeeds).
+    pub fn new(rate_per_s: f64, burst: f64) -> Quota {
+        Quota {
+            rate_per_s,
+            burst: burst.max(1.0),
+            buckets: Mutex::new(HashMap::new()),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Whether limiting is active.
+    pub fn enabled(&self) -> bool {
+        self.rate_per_s > 0.0
+    }
+
+    /// Takes one token from `key`'s bucket using the real clock.
+    pub fn admit(&self, key: &str) -> bool {
+        let now_ns = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.admit_at(key, now_ns)
+    }
+
+    /// Takes one token from `key`'s bucket at monotonic time `now_ns`.
+    /// Visible for tests; production goes through [`Quota::admit`].
+    pub fn admit_at(&self, key: &str, now_ns: u64) -> bool {
+        if !self.enabled() {
+            return true;
+        }
+        let mut buckets = self.buckets.lock().unwrap();
+        let bucket = buckets.entry(key.to_string()).or_insert(Bucket {
+            tokens: self.burst,
+            last_ns: now_ns,
+        });
+        let dt_s = now_ns.saturating_sub(bucket.last_ns) as f64 / 1e9;
+        bucket.tokens = (bucket.tokens + dt_s * self.rate_per_s).min(self.burst);
+        bucket.last_ns = now_ns;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_throttle_then_refill() {
+        let q = Quota::new(10.0, 3.0);
+        // The burst allowance goes immediately…
+        assert!(q.admit_at("a", 0));
+        assert!(q.admit_at("a", 0));
+        assert!(q.admit_at("a", 0));
+        // …then the bucket is dry…
+        assert!(!q.admit_at("a", 0));
+        assert!(!q.admit_at("a", 50_000_000)); // +50 ms: only half a token
+                                               // …and refills at 10/s: one token per 100 ms.
+        assert!(q.admit_at("a", 100_000_000));
+        assert!(!q.admit_at("a", 100_000_000));
+    }
+
+    #[test]
+    fn clients_do_not_share_buckets() {
+        let q = Quota::new(1.0, 1.0);
+        assert!(q.admit_at("a", 0));
+        assert!(!q.admit_at("a", 0));
+        assert!(q.admit_at("b", 0), "b's bucket is untouched by a");
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let q = Quota::new(100.0, 2.0);
+        assert!(q.admit_at("a", 0));
+        assert!(q.admit_at("a", 0));
+        // An hour idle must still only buy `burst` tokens.
+        let hour = 3_600_000_000_000;
+        assert!(q.admit_at("a", hour));
+        assert!(q.admit_at("a", hour));
+        assert!(!q.admit_at("a", hour));
+    }
+
+    #[test]
+    fn zero_rate_disables_limiting() {
+        let q = Quota::new(0.0, 1.0);
+        for _ in 0..1000 {
+            assert!(q.admit_at("a", 0));
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! HTTP-edge benchmark: what the network front costs over the raw
+//! spool, written to `BENCH_api.json` at the repo root.
+//!
+//! * **submit→accept latency** — client-observed wall time of a
+//!   `POST /v1/jobs` (connect, edge-side parse + validate + compile,
+//!   atomic spool write, 201), reported as p50/p90/p99;
+//! * **queue throughput through the edge** — the same 100-small-job
+//!   drain the runtime suite times against the bare spool
+//!   (`BENCH_runtime.json` `queue_jobs_per_s`), but with every job
+//!   entering over HTTP;
+//! * **quota under flood** — a burst far past the token bucket,
+//!   counting how many requests the limiter turned away.
+//!
+//! Set `OBLX_BENCH_QUICK=1` to cut request counts (CI smoke mode).
+
+use astrx_oblx::json::{ObjBuilder, Value};
+use criterion::{criterion_group, criterion_main, Criterion};
+use oblx_api::server::{Server, ServerOptions};
+use oblx_runtime::pool::{self, PoolOptions};
+use oblx_runtime::spool::Spool;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const DIFFAMP: &str = include_str!("../../core/src/testdata/diffamp.ox");
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("oblx-bench-api-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One request, client side: connect, send, read the full response.
+/// Returns the status code.
+fn roundtrip(addr: SocketAddr, method: &str, path: &str, body: &str) -> u16 {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut bytes = Vec::new();
+    stream.read_to_end(&mut bytes).expect("receive");
+    let head = std::str::from_utf8(&bytes[..bytes.len().min(16)]).unwrap_or("");
+    head.split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Matches the job shape of the runtime suite's queue-throughput bench
+/// (60 moves, quench patience 100) so the drain rates are comparable.
+fn submit_body(i: usize, moves: usize) -> String {
+    ObjBuilder::new()
+        .field("name", format!("edge-{i}"))
+        .field("source", DIFFAMP)
+        .field("seeds", Value::Arr(vec![Value::Int(1)]))
+        .field("moves", i64::try_from(moves).unwrap())
+        .field("quench", 100i64)
+        .build()
+        .to_json()
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn bench(_c: &mut Criterion) {
+    let quick = std::env::var_os("OBLX_BENCH_QUICK").is_some();
+    let n_latency = if quick { 40 } else { 200 };
+    let n_jobs = if quick { 20 } else { 100 };
+    let n_flood: usize = if quick { 60 } else { 200 };
+
+    // --- submit→accept latency -------------------------------------
+    let dir = temp_dir("latency");
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let opts = ServerOptions {
+        quota_rate: 0.0,
+        ..ServerOptions::default()
+    };
+    let server = Server::start(
+        Spool::open(dir.join("spool")).unwrap(),
+        &opts,
+        Arc::clone(&shutdown),
+    )
+    .unwrap();
+    let addr = server.addr();
+    let mut lat_s: Vec<f64> = (0..n_latency)
+        .map(|i| {
+            let body = submit_body(i, 60);
+            let t = Instant::now();
+            let status = roundtrip(addr, "POST", "/v1/jobs", &body);
+            let dt = t.elapsed().as_secs_f64();
+            assert_eq!(status, 201, "submit accepted");
+            dt
+        })
+        .collect();
+    lat_s.sort_by(|a, b| a.total_cmp(b));
+    let (p50, p90, p99) = (
+        percentile(&lat_s, 0.50),
+        percentile(&lat_s, 0.90),
+        percentile(&lat_s, 0.99),
+    );
+    let submit_rate = n_latency as f64 / lat_s.iter().sum::<f64>();
+    println!(
+        "api/submit_accept_latency                {n_latency} posts: p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms ({:.1} submits/s sustained)",
+        p50 * 1e3,
+        p90 * 1e3,
+        p99 * 1e3,
+        submit_rate
+    );
+    shutdown.store(true, Ordering::SeqCst);
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- queue throughput through the edge -------------------------
+    // Mirrors the runtime suite's 100-job drain so `queue_jobs_per_s`
+    // here is directly comparable to the direct-spool baseline there.
+    let dir = temp_dir("queue");
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let opts = ServerOptions {
+        quota_rate: 0.0,
+        ..ServerOptions::default()
+    };
+    let server = Server::start(
+        Spool::open(dir.join("spool")).unwrap(),
+        &opts,
+        Arc::clone(&shutdown),
+    )
+    .unwrap();
+    let addr = server.addr();
+    let submit_start = Instant::now();
+    for i in 0..n_jobs {
+        assert_eq!(
+            roundtrip(addr, "POST", "/v1/jobs", &submit_body(i, 60)),
+            201
+        );
+    }
+    let submit_s = submit_start.elapsed().as_secs_f64();
+    let spool = Spool::open(dir.join("spool")).unwrap();
+    let drain_start = Instant::now();
+    let stats = pool::run(
+        &spool,
+        &PoolOptions {
+            workers: 0,
+            checkpoint_every: 1_000,
+            drain: true,
+        },
+        &AtomicBool::new(false),
+    );
+    let drain_s = drain_start.elapsed().as_secs_f64();
+    assert_eq!(stats.jobs_completed, n_jobs, "every job drains");
+    println!(
+        "api/queue_throughput                     {n_jobs} jobs over HTTP: submit {:.2} s ({:.1} jobs/s in), drain {:.2} s ({:.1} jobs/s)",
+        submit_s,
+        n_jobs as f64 / submit_s,
+        drain_s,
+        n_jobs as f64 / drain_s
+    );
+    shutdown.store(true, Ordering::SeqCst);
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- quota limiter under flood ----------------------------------
+    let dir = temp_dir("flood");
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let opts = ServerOptions {
+        quota_rate: 50.0,
+        quota_burst: 20.0,
+        ..ServerOptions::default()
+    };
+    let server = Server::start(
+        Spool::open(dir.join("spool")).unwrap(),
+        &opts,
+        Arc::clone(&shutdown),
+    )
+    .unwrap();
+    let addr = server.addr();
+    let flood_start = Instant::now();
+    let mut rejected = 0usize;
+    let mut served = 0usize;
+    for _ in 0..n_flood {
+        match roundtrip(addr, "GET", "/v1/metrics", "") {
+            200 => served += 1,
+            429 => rejected += 1,
+            other => panic!("unexpected status {other} under flood"),
+        }
+    }
+    let flood_s = flood_start.elapsed().as_secs_f64();
+    assert!(rejected > 0, "the limiter engaged under flood");
+    println!(
+        "api/quota_flood                          {n_flood} reqs in {:.2} s: {served} served, {rejected} rejected 429",
+        flood_s
+    );
+    shutdown.store(true, Ordering::SeqCst);
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- emit -------------------------------------------------------
+    let record = ObjBuilder::new()
+        .field("format", "oblx-bench")
+        .field("version", 1i64)
+        .field("suite", "api")
+        .field("submit_posts", i64::try_from(n_latency).unwrap())
+        .field("submit_p50_s", p50)
+        .field("submit_p90_s", p90)
+        .field("submit_p99_s", p99)
+        .field("submit_sustained_per_s", submit_rate)
+        .field("queue_jobs", i64::try_from(n_jobs).unwrap())
+        .field("queue_http_submit_s", submit_s)
+        .field("queue_drain_s", drain_s)
+        .field("queue_jobs_per_s", n_jobs as f64 / drain_s)
+        .field("flood_requests", i64::try_from(n_flood).unwrap())
+        .field("flood_served", i64::try_from(served).unwrap())
+        .field("flood_quota_rejected", i64::try_from(rejected).unwrap())
+        .field("flood_s", flood_s)
+        .build();
+    let out = repo_root().join("BENCH_api.json");
+    std::fs::write(&out, format!("{}\n", record.to_json())).expect("BENCH_api.json written");
+    println!("wrote {}", out.display());
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the repo root")
+        .to_path_buf()
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -35,6 +35,20 @@ impl ParseError {
             message: message.into(),
         }
     }
+
+    /// The 1-based source location, when the error is positioned:
+    /// `(line, Some(column))` when the failing token is known, `(line,
+    /// None)` when only the line is. Errors not tied to any line (e.g.
+    /// "empty input") return `None`. Consumers that surface diagnostics
+    /// structurally (the HTTP edge's 4xx JSON) use this instead of
+    /// re-parsing the rendered message.
+    pub fn location(&self) -> Option<(usize, Option<usize>)> {
+        match (self.line, self.column) {
+            (0, _) => None,
+            (line, 0) => Some((line, None)),
+            (line, col) => Some((line, Some(col))),
+        }
+    }
 }
 
 impl fmt::Display for ParseError {

@@ -19,13 +19,13 @@ use oblx_runtime::events::{last_metrics, render_metrics, status, EventLog};
 use oblx_runtime::pool::{self, PoolOptions};
 use oblx_runtime::spool::Spool;
 use std::process::ExitCode;
-use std::sync::atomic::AtomicBool;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  oblxd submit --dir SPOOL (--bench NAME | file.ox) [--name N] \
          [--seeds N|a,b,c] [--moves N] [--priority P]\n  \
          oblxd run --dir SPOOL [--workers N] [--checkpoint-interval N] [--drain]\n  \
+         oblxd cancel --dir SPOOL JOB_ID\n  \
          oblxd status --dir SPOOL [--metrics]"
     );
     ExitCode::from(2)
@@ -52,6 +52,7 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "submit" => cmd_submit(&spool, &rest),
         "run" => cmd_run(&spool, &rest),
+        "cancel" => cmd_cancel(&spool, &rest),
         "status" => {
             print!("{}", status(&spool).render());
             if flag(&rest, "--metrics") {
@@ -180,6 +181,47 @@ fn positional<'a>(rest: &'a [&String]) -> Option<&'a str> {
     })
 }
 
+fn cmd_cancel(spool: &Spool, rest: &[&String]) -> ExitCode {
+    use oblx_runtime::spool::CancelOutcome;
+    let Some(id) = positional(rest) else {
+        eprintln!("error: cancel needs a JOB_ID");
+        return usage();
+    };
+    let name = spool
+        .pending()
+        .into_iter()
+        .chain(spool.running())
+        .find(|j| j.id == id)
+        .map(|j| j.request.name)
+        .unwrap_or_else(|| id.to_string());
+    match spool.cancel(id, &name) {
+        Ok(CancelOutcome::Dequeued) => {
+            println!("{id}: cancelled (dequeued)");
+            ExitCode::SUCCESS
+        }
+        Ok(CancelOutcome::Requested) => {
+            println!("{id}: cancel requested (stops at the next checkpoint)");
+            ExitCode::SUCCESS
+        }
+        Ok(CancelOutcome::AlreadyCancelled) => {
+            println!("{id}: already cancelled");
+            ExitCode::SUCCESS
+        }
+        Ok(CancelOutcome::AlreadyDone) => {
+            eprintln!("error: {id} already finished; its result stands");
+            ExitCode::FAILURE
+        }
+        Ok(CancelOutcome::Unknown) => {
+            eprintln!("error: no job {id} in this spool");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: cancel {id} failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn cmd_run(spool: &Spool, rest: &[&String]) -> ExitCode {
     // The daemon always records telemetry: the per-run overhead is
     // within noise and `status --metrics` depends on the snapshots.
@@ -210,13 +252,21 @@ fn cmd_run(spool: &Spool, rest: &[&String]) -> ExitCode {
         eprintln!("error: --checkpoint-interval must be positive");
         return ExitCode::from(2);
     }
-    let shutdown = AtomicBool::new(false);
-    let stats = pool::run(spool, &opts, &shutdown);
+    // SIGTERM/SIGINT drain gracefully: workers stop claiming, every
+    // in-flight seed checkpoints and stops, events flush, and the
+    // process exits 0 — jobs left in running/ resume bit-identically
+    // on the next start.
+    let shutdown = oblx_runtime::signal::install_shutdown_handler();
+    let stats = pool::run(spool, &opts, shutdown);
+    if shutdown.load(std::sync::atomic::Ordering::SeqCst) {
+        eprintln!("shutdown: checkpointed in-flight seeds; restart to resume");
+    }
     println!(
-        "done: {} job(s) completed, {} failed, {} seed task(s) run, \
+        "done: {} job(s) completed, {} failed, {} cancelled, {} seed task(s) run, \
          {} corrupt file(s) quarantined, {} panic(s) caught",
         stats.jobs_completed,
         stats.jobs_failed,
+        stats.jobs_cancelled,
         stats.seeds_run,
         stats.jobs_corrupt + startup_corrupt,
         stats.seeds_panicked

@@ -59,6 +59,33 @@ impl EventLog {
             .map(|text| json::parse_lines(&text))
             .unwrap_or_default()
     }
+
+    /// Reads the complete lines appended since byte `offset`, returning
+    /// them verbatim (JSONL text, trailing newline included) together
+    /// with the offset to resume from next time. A partial final line —
+    /// a concurrent append caught mid-write — is left for the next
+    /// call, so a tailer never observes a torn event. This is the
+    /// polling primitive behind the HTTP edge's streaming
+    /// `GET /v1/jobs/:id/events`.
+    pub fn read_raw_from(&self, offset: u64) -> (String, u64) {
+        use std::io::{Read as _, Seek as _, SeekFrom};
+        let Ok(mut f) = std::fs::File::open(&self.path) else {
+            return (String::new(), offset);
+        };
+        if f.seek(SeekFrom::Start(offset)).is_err() {
+            return (String::new(), offset);
+        }
+        let mut bytes = Vec::new();
+        if f.read_to_end(&mut bytes).is_err() {
+            return (String::new(), offset);
+        }
+        let Some(last_nl) = bytes.iter().rposition(|&b| b == b'\n') else {
+            return (String::new(), offset);
+        };
+        bytes.truncate(last_nl + 1);
+        let new_offset = offset + bytes.len() as u64;
+        (String::from_utf8_lossy(&bytes).into_owned(), new_offset)
+    }
 }
 
 /// Appends the current telemetry snapshot to `events/metrics.jsonl` in
@@ -161,10 +188,25 @@ pub fn render_metrics(data: &Value) -> String {
     );
     let _ = writeln!(
         out,
-        "jobs: {} corrupt quarantined, {} seed panics caught",
+        "jobs: {} corrupt quarantined, {} seed panics caught, {} cancelled",
         counter("job_corrupt"),
         counter("seed_panic"),
+        counter("job_cancelled"),
     );
+    if counter("http_request") > 0
+        || counter("http_quota_rejected") > 0
+        || counter("http_admission_rejected") > 0
+    {
+        let _ = writeln!(
+            out,
+            "http: {} requests ({} 4xx, {} 5xx), {} quota-rejected, {} shed at admission",
+            counter("http_request"),
+            counter("http_4xx"),
+            counter("http_5xx"),
+            counter("http_quota_rejected"),
+            counter("http_admission_rejected"),
+        );
+    }
     if let Some(workers) = data.get("workers").and_then(Value::as_arr) {
         for w in workers {
             let idx = w.get("worker").and_then(Value::as_int).unwrap_or(0);
@@ -230,6 +272,8 @@ pub struct Status {
     pub done_ok: usize,
     /// Finished jobs that failed.
     pub done_failed: usize,
+    /// Jobs retired into the `cancelled` terminal state.
+    pub cancelled: usize,
     /// Live worker states (empty when no daemon has written them).
     pub workers: Vec<WorkerState>,
 }
@@ -254,11 +298,12 @@ impl Status {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "queue depth {}   running {}   done {} ok / {} failed",
+            "queue depth {}   running {}   done {} ok / {} failed   cancelled {}",
             self.queue_depth(),
             self.running.len(),
             self.done_ok,
-            self.done_failed
+            self.done_failed,
+            self.cancelled
         );
         match self.utilization() {
             Some(u) => {
@@ -384,6 +429,7 @@ pub fn status(spool: &Spool) -> Status {
         running,
         done_ok,
         done_failed,
+        cancelled: spool.cancelled_ids().len(),
         workers,
     }
 }
@@ -453,6 +499,45 @@ mod tests {
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].get("event").unwrap().as_str(), Some("submitted"));
         assert_eq!(events[1].get("event").unwrap().as_str(), Some("started"));
+        std::fs::remove_dir_all(spool.root()).unwrap();
+    }
+
+    #[test]
+    fn read_raw_from_tails_complete_lines_only() {
+        let spool = temp_spool("tail");
+        let log = EventLog::open(&spool, "j1");
+        let (chunk, offset) = log.read_raw_from(0);
+        assert_eq!((chunk.as_str(), offset), ("", 0), "no log yet");
+        log.emit("submitted", &[]);
+        log.emit("started", &[]);
+        let (chunk, offset) = log.read_raw_from(0);
+        assert_eq!(chunk.lines().count(), 2);
+        assert_eq!(offset, chunk.len() as u64);
+        // Nothing new: same offset back.
+        let (chunk2, offset2) = log.read_raw_from(offset);
+        assert_eq!((chunk2.as_str(), offset2), ("", offset));
+        // A torn append is held back until its newline lands.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(spool.events_dir().join("j1.jsonl"))
+                .unwrap();
+            f.write_all(b"{\"ts\":9,\"event\":\"par").unwrap();
+        }
+        let (chunk3, offset3) = log.read_raw_from(offset);
+        assert_eq!((chunk3.as_str(), offset3), ("", offset));
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(spool.events_dir().join("j1.jsonl"))
+                .unwrap();
+            f.write_all(b"tial\"}\n").unwrap();
+        }
+        let (chunk4, offset4) = log.read_raw_from(offset);
+        assert_eq!(chunk4, "{\"ts\":9,\"event\":\"partial\"}\n");
+        assert_eq!(offset4, offset + chunk4.len() as u64);
         std::fs::remove_dir_all(spool.root()).unwrap();
     }
 

@@ -35,11 +35,13 @@
 
 pub mod events;
 pub mod pool;
+pub mod signal;
 pub mod spool;
 
 use astrx_oblx::jobs::JobRequest;
 use astrx_oblx::CompiledProblem;
 use oblx_devices::process::ProcessDeck;
+use oblx_netlist::ParseError;
 
 /// Resolves a process-deck label (as produced by [`ProcessDeck::label`])
 /// back to the deck.
@@ -55,6 +57,50 @@ pub fn deck_from_label(label: &str) -> Option<ProcessDeck> {
     .find(|d| d.label() == label)
 }
 
+/// Why a job request cannot be turned into a [`CompiledProblem`] —
+/// structured so the HTTP edge can surface parse locations as machine-
+/// readable 4xx JSON instead of flattening everything into one string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobError {
+    /// The `.ox` source failed to parse; carries line/column.
+    Parse(ParseError),
+    /// The request names a process deck this build does not know.
+    UnknownDeck(String),
+    /// The parsed problem failed semantic compilation.
+    Compile(String),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Parse(e) => write!(f, "{e}"),
+            JobError::UnknownDeck(deck) => write!(f, "unknown process deck `{deck}`"),
+            JobError::Compile(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Validates and compiles a job's problem description, appending the
+/// `.model` cards of its process deck when one is named. This is the
+/// single validation path shared by `oblxd submit`, the worker pool,
+/// and the HTTP edge, so a deck rejected at one boundary is rejected
+/// identically at every other.
+///
+/// # Errors
+///
+/// A structured [`JobError`].
+pub fn validate_job(req: &JobRequest) -> Result<CompiledProblem, JobError> {
+    let mut problem = oblx_netlist::parse_problem(&req.source).map_err(JobError::Parse)?;
+    if !req.deck.is_empty() {
+        let deck =
+            deck_from_label(&req.deck).ok_or_else(|| JobError::UnknownDeck(req.deck.clone()))?;
+        problem.models.extend(deck.cards());
+    }
+    astrx_oblx::compile(problem).map_err(|e| JobError::Compile(e.to_string()))
+}
+
 /// Compiles a job's problem description, appending the `.model` cards
 /// of its process deck when one is named.
 ///
@@ -62,14 +108,7 @@ pub fn deck_from_label(label: &str) -> Option<ProcessDeck> {
 ///
 /// A human-readable message on parse, deck-lookup, or compile failure.
 pub fn compile_job(req: &JobRequest) -> Result<CompiledProblem, String> {
-    let mut problem =
-        oblx_netlist::parse_problem(&req.source).map_err(|e| format!("{}: {e}", req.name))?;
-    if !req.deck.is_empty() {
-        let deck = deck_from_label(&req.deck)
-            .ok_or_else(|| format!("{}: unknown process deck `{}`", req.name, req.deck))?;
-        problem.models.extend(deck.cards());
-    }
-    astrx_oblx::compile(problem).map_err(|e| format!("{}: {e}", req.name))
+    validate_job(req).map_err(|e| format!("{}: {e}", req.name))
 }
 
 #[cfg(test)]

@@ -60,6 +60,8 @@ pub struct RunStats {
     pub jobs_completed: usize,
     /// Jobs finished in failure (compile error or every seed failed).
     pub jobs_failed: usize,
+    /// Jobs retired into the `cancelled` terminal state.
+    pub jobs_cancelled: usize,
     /// Undecodable job files quarantined out of the spool.
     pub jobs_corrupt: usize,
     /// Seed tasks executed to completion.
@@ -206,6 +208,13 @@ fn next_task(shared: &Shared<'_>, w: usize) -> Option<Task> {
 }
 
 fn claim_and_shard(shared: &Shared<'_>, w: usize, job: JobFile) {
+    // A tombstone that raced the claim: retire the job before wasting
+    // a compile on it.
+    if shared.spool.cancel_requested(&job.id) {
+        let _ = shared.spool.complete_cancelled(&job.id, &job.request.name);
+        shared.stats.lock().unwrap().jobs_cancelled += 1;
+        return;
+    }
     let log = EventLog::open(shared.spool, &job.id);
     let compiled = match compile_job(&job.request) {
         Ok(c) => c,
@@ -295,7 +304,9 @@ fn run_task(shared: &Shared<'_>, w: usize, (job, index): Task) {
                         ("best_cost", ck.engine.best_cost.into()),
                     ],
                 );
-                if shared.shutdown.load(Ordering::SeqCst) {
+                if shared.shutdown.load(Ordering::SeqCst)
+                    || shared.spool.cancel_requested(&job.file.id)
+                {
                     Directive::Stop
                 } else {
                     Directive::Continue
@@ -303,6 +314,7 @@ fn run_task(shared: &Shared<'_>, w: usize, (job, index): Task) {
             },
         )
     }));
+    let mut cancelled = false;
     let record = match outcome {
         Err(payload) => {
             let msg = panic_message(payload.as_ref());
@@ -332,11 +344,22 @@ fn run_task(shared: &Shared<'_>, w: usize, (job, index): Task) {
             })
         }
         Ok(Ok(SynthesisOutcome::Interrupted(_))) => {
-            // Shutdown mid-run: the checkpoint file stays behind and
-            // the job stays in running/ for the next recover().
-            job.log
-                .emit("interrupted", &[("seed", jobs::u64_to_value(seed))]);
-            None
+            if shared.spool.cancel_requested(&job.file.id) {
+                // Cancelled mid-run: the seed is abandoned for good.
+                // A sentinel record keeps the remaining-count honest so
+                // the last stopped seed finalizes the job (into
+                // `cancelled/`, see `finalize`).
+                job.log
+                    .emit("seed_cancelled", &[("seed", jobs::u64_to_value(seed))]);
+                cancelled = true;
+                Some(failed_seed_record(seed))
+            } else {
+                // Shutdown mid-run: the checkpoint file stays behind
+                // and the job stays in running/ for the next recover().
+                job.log
+                    .emit("interrupted", &[("seed", jobs::u64_to_value(seed))]);
+                None
+            }
         }
         Ok(Err(e)) => {
             job.log.emit(
@@ -350,19 +373,25 @@ fn run_task(shared: &Shared<'_>, w: usize, (job, index): Task) {
         }
     };
     if let Some(record) = record {
-        let _ = jobs::write_atomic(&seed_done_path(&ckdir, seed), &seed_record_to_json(&record));
-        let _ = std::fs::remove_file(jobs::checkpoint_path(&ckdir, seed));
-        job.log.emit(
-            "seed_done",
-            &[
-                ("seed", jobs::u64_to_value(seed)),
-                ("fixed_cost", record.fixed_cost.into()),
-                ("evaluations", record.evaluations.into()),
-                ("failed", record.failed.into()),
-            ],
-        );
+        // A cancelled seed produced no result: it only counts down the
+        // job, leaving neither a seed-done file nor a `seed_done` event
+        // suggesting it ran to completion.
+        if !cancelled {
+            let _ =
+                jobs::write_atomic(&seed_done_path(&ckdir, seed), &seed_record_to_json(&record));
+            let _ = std::fs::remove_file(jobs::checkpoint_path(&ckdir, seed));
+            job.log.emit(
+                "seed_done",
+                &[
+                    ("seed", jobs::u64_to_value(seed)),
+                    ("fixed_cost", record.fixed_cost.into()),
+                    ("evaluations", record.evaluations.into()),
+                    ("failed", record.failed.into()),
+                ],
+            );
+            shared.stats.lock().unwrap().seeds_run += 1;
+        }
         job.records.lock().unwrap()[index] = Some(record);
-        shared.stats.lock().unwrap().seeds_run += 1;
         if job.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
             finalize(shared, &job);
         }
@@ -380,6 +409,18 @@ fn run_task(shared: &Shared<'_>, w: usize, (job, index): Task) {
 /// exactly [`astrx_oblx::oblx::synthesize_multi`]'s winner rule: lowest
 /// frozen-final cost, NaN last, ties to the earlier seed in the list.
 fn finalize(shared: &Shared<'_>, job: &RunningJob) {
+    // A tombstone trumps any partial results: the job retires into
+    // `cancelled/`, not `done/` (the `job_cancelled` event and the
+    // telemetry counter are emitted by `complete_cancelled`).
+    if shared.spool.cancel_requested(&job.file.id) {
+        let _ = shared
+            .spool
+            .complete_cancelled(&job.file.id, &job.file.request.name);
+        crate::events::append_metrics(shared.spool);
+        let _ = std::fs::remove_dir_all(shared.spool.ckpt_dir(&job.file.id));
+        shared.stats.lock().unwrap().jobs_cancelled += 1;
+        return;
+    }
     let records = job.records.lock().unwrap();
     let mut best: Option<(f64, usize)> = None;
     for (i, rec) in records.iter().enumerate() {
@@ -722,6 +763,79 @@ mod tests {
         );
         let record = spool.done(&good.id).unwrap();
         assert_eq!(record.get("status").unwrap().as_str(), Some("ok"));
+        std::fs::remove_dir_all(spool.root()).unwrap();
+    }
+
+    #[test]
+    fn tombstone_racing_the_claim_retires_the_job_unrun() {
+        let spool = temp_spool("cancel-claim");
+        let job = spool.submit(small_job("victim", vec![1])).unwrap();
+        // A tombstone landing after submit but before any worker claims
+        // (as `Spool::cancel` leaves behind when it loses the dequeue
+        // race): the pool must retire the job without running a seed.
+        jobs::write_atomic(&spool.tombstone_path(&job.id), "").unwrap();
+        let stats = run(
+            &spool,
+            &PoolOptions {
+                workers: 1,
+                checkpoint_every: 100,
+                drain: true,
+            },
+            &AtomicBool::new(false),
+        );
+        assert_eq!(stats.jobs_cancelled, 1);
+        assert_eq!(stats.seeds_run, 0);
+        assert_eq!(stats.jobs_completed, 0);
+        let record = spool.cancelled(&job.id).unwrap();
+        assert_eq!(record.get("status").unwrap().as_str(), Some("cancelled"));
+        assert!(spool.done(&job.id).is_none());
+        let events = EventLog::open(&spool, &job.id).read();
+        assert!(events
+            .iter()
+            .any(|e| e.get("event").and_then(Value::as_str) == Some("job_cancelled")));
+        std::fs::remove_dir_all(spool.root()).unwrap();
+    }
+
+    #[test]
+    fn cancel_mid_run_stops_seeds_at_the_next_checkpoint() {
+        let spool = temp_spool("cancel-midrun");
+        let mut req = small_job("victim", vec![1, 2]);
+        // A budget far beyond what drains quickly, so the cancel always
+        // lands while seeds are in flight.
+        req.options.moves_budget = 200_000;
+        req.options.quench_patience = 200_000;
+        let job = spool.submit(req).unwrap();
+        let id = job.id.clone();
+        let opts = PoolOptions {
+            workers: 2,
+            checkpoint_every: 50,
+            drain: true,
+        };
+        std::thread::scope(|scope| {
+            let spool_ref = &spool;
+            let handle = scope.spawn(move || run(spool_ref, &opts, &AtomicBool::new(false)));
+            // Wait until a seed has checkpointed (the job is claimed
+            // and running), then cancel.
+            let ckdir = spool.ckpt_dir(&id);
+            let deadline = std::time::Instant::now() + Duration::from_secs(60);
+            while !ckdir.exists() && std::time::Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            assert_eq!(
+                spool.cancel(&id, "victim").unwrap(),
+                crate::spool::CancelOutcome::Requested
+            );
+            let stats = handle.join().unwrap();
+            assert_eq!(stats.jobs_cancelled, 1);
+            assert_eq!(stats.jobs_completed, 0);
+        });
+        assert!(spool.cancelled(&job.id).is_some());
+        assert!(spool.done(&job.id).is_none());
+        assert!(!spool.cancel_requested(&job.id), "tombstone retired");
+        assert!(
+            !spool.ckpt_dir(&job.id).exists(),
+            "checkpoints of a cancelled job are reclaimed"
+        );
         std::fs::remove_dir_all(spool.root()).unwrap();
     }
 

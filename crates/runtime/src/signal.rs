@@ -1,0 +1,65 @@
+//! Graceful-shutdown signal bridge: SIGINT/SIGTERM → a process-wide
+//! `AtomicBool` the worker pool and the HTTP edge poll.
+//!
+//! The workspace vendors no `libc`/`signal-hook`, so the handler is
+//! registered through the C `signal(2)` symbol that `std` already
+//! links. The handler body is a single atomic store — the only thing
+//! that is async-signal-safe anyway — and everything else (stop
+//! claiming jobs, checkpoint in-flight seeds, flush events, exit 0)
+//! happens on ordinary threads that observe the flag:
+//!
+//! * pool workers check it at the top of their loop and stop claiming;
+//! * every per-seed run checks it at its next checkpoint (which has
+//!   just been persisted) and stops, leaving the checkpoint behind for
+//!   a bit-identical resume;
+//! * the API server's accept loop checks it and stops admitting.
+//!
+//! A second SIGINT/SIGTERM while shutdown is already in progress falls
+//! back to the default disposition and kills the process — the escape
+//! hatch when a seed is wedged — which is safe precisely because the
+//! SIGKILL-resume path is already crash-proof.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+const SIGINT: i32 = 2;
+#[cfg(unix)]
+const SIGTERM: i32 = 15;
+#[cfg(unix)]
+const SIG_DFL: usize = 0;
+
+#[cfg(unix)]
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+#[cfg(unix)]
+extern "C" fn on_signal(signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+    // Restore the default disposition so a repeated signal terminates
+    // immediately instead of being swallowed by a stuck shutdown.
+    unsafe {
+        signal(signum, SIG_DFL);
+    }
+}
+
+/// Installs SIGINT/SIGTERM handlers that raise the shutdown flag and
+/// returns the flag. Safe to call more than once. On non-Unix targets
+/// this only returns the (never signal-raised) flag.
+#[allow(clippy::fn_to_numeric_cast_any)]
+pub fn install_shutdown_handler() -> &'static AtomicBool {
+    #[cfg(unix)]
+    unsafe {
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+    }
+    &SHUTDOWN
+}
+
+/// The process-wide shutdown flag (raised by the installed handlers;
+/// tests may raise it directly).
+pub fn shutdown_flag() -> &'static AtomicBool {
+    &SHUTDOWN
+}

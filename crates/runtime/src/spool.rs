@@ -6,6 +6,8 @@
 //! queue/<id>.json      submitted jobs awaiting a worker
 //! running/<id>.json    jobs claimed by a worker
 //! done/<id>.json       result records (success or failure)
+//! cancelled/<id>.json  terminal records of cancelled jobs
+//! cancel/<id>.tomb     cancel tombstones honored by the worker pool
 //! corrupt/<id>.json    quarantined undecodable job files
 //! ckpt/<id>/           per-seed checkpoints and seed-done records
 //! events/<id>.jsonl    per-job event logs (see crate::events)
@@ -42,6 +44,8 @@ impl Spool {
             spool.queue_dir(),
             spool.running_dir(),
             spool.done_dir(),
+            spool.cancelled_dir(),
+            spool.tombstones_dir(),
             spool.corrupt_dir(),
             spool.events_dir(),
             spool.ckpt_root(),
@@ -69,6 +73,16 @@ impl Spool {
     /// `done/` — result records.
     pub fn done_dir(&self) -> PathBuf {
         self.root.join("done")
+    }
+
+    /// `cancelled/` — terminal records of cancelled jobs.
+    pub fn cancelled_dir(&self) -> PathBuf {
+        self.root.join("cancelled")
+    }
+
+    /// `cancel/` — cancel tombstones awaiting pool acknowledgement.
+    pub fn tombstones_dir(&self) -> PathBuf {
+        self.root.join("cancel")
     }
 
     /// `corrupt/` — quarantined job files that could not be decoded.
@@ -204,6 +218,14 @@ impl Spool {
         let _ = self.quarantine_corrupt();
         let mut recovered = Vec::new();
         for job in self.running() {
+            // A tombstoned orphan is not worth requeueing: the daemon
+            // that would have acknowledged the cancel is gone, so
+            // retire the job here instead of resuming it only to stop
+            // it again at its first checkpoint.
+            if self.cancel_requested(&job.id) {
+                let _ = self.complete_cancelled(&job.id, &job.request.name);
+                continue;
+            }
             let from = self.running_dir().join(format!("{}.json", job.id));
             let to = self.queue_dir().join(format!("{}.json", job.id));
             if std::fs::rename(&from, &to).is_ok() {
@@ -234,7 +256,16 @@ impl Spool {
 
     /// Ids of all finished jobs.
     pub fn done_ids(&self) -> Vec<String> {
-        let Ok(entries) = std::fs::read_dir(self.done_dir()) else {
+        Self::json_ids(&self.done_dir())
+    }
+
+    /// Ids of all cancelled jobs.
+    pub fn cancelled_ids(&self) -> Vec<String> {
+        Self::json_ids(&self.cancelled_dir())
+    }
+
+    fn json_ids(dir: &Path) -> Vec<String> {
+        let Ok(entries) = std::fs::read_dir(dir) else {
             return Vec::new();
         };
         let mut ids: Vec<String> = entries
@@ -251,6 +282,107 @@ impl Spool {
         ids.sort();
         ids
     }
+
+    /// Path of job `id`'s cancel tombstone.
+    pub fn tombstone_path(&self, id: &str) -> PathBuf {
+        self.tombstones_dir().join(format!("{id}.tomb"))
+    }
+
+    /// Whether a cancel has been requested for `id` and not yet
+    /// acknowledged. Checked by the pool at claim time and at every
+    /// per-seed checkpoint.
+    pub fn cancel_requested(&self, id: &str) -> bool {
+        self.tombstone_path(id).exists()
+    }
+
+    /// Reads the terminal record of a cancelled job, if any.
+    pub fn cancelled(&self, id: &str) -> Option<Value> {
+        let text = std::fs::read_to_string(self.cancelled_dir().join(format!("{id}.json"))).ok()?;
+        astrx_oblx::json::parse(&text).ok()
+    }
+
+    /// Requests cancellation of job `id`.
+    ///
+    /// A still-queued job is dequeued and moved straight to its
+    /// `cancelled` terminal state. A claimed job gets a tombstone that
+    /// the worker pool honors: each in-flight seed stops at its next
+    /// checkpoint, and the job finalizes into `cancelled/` instead of
+    /// `done/` (emitting a `job_cancelled` event). Cancelling a job
+    /// that is already terminal, or unknown, changes nothing.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error writing the tombstone or the cancelled record.
+    pub fn cancel(&self, id: &str, name: &str) -> io::Result<CancelOutcome> {
+        if self.done(id).is_some() {
+            return Ok(CancelOutcome::AlreadyDone);
+        }
+        if self.cancelled(id).is_some() {
+            return Ok(CancelOutcome::AlreadyCancelled);
+        }
+        // Tombstone first: from this instant a racing worker will see
+        // the request at claim time or at its next checkpoint.
+        jobs::write_atomic(&self.tombstone_path(id), "")?;
+        // `remove_file` vs the pool's claim `rename` race on the same
+        // queue entry: exactly one syscall wins, so a job is either
+        // dequeued here or claimed there, never both.
+        if std::fs::remove_file(self.queue_dir().join(format!("{id}.json"))).is_ok() {
+            self.complete_cancelled(id, name)?;
+            return Ok(CancelOutcome::Dequeued);
+        }
+        if self.running_dir().join(format!("{id}.json")).exists() {
+            return Ok(CancelOutcome::Requested);
+        }
+        // Neither queued nor running. The job may have completed in the
+        // window since the `done` check above — either way there is
+        // nothing to cancel, so retract the tombstone.
+        let _ = std::fs::remove_file(self.tombstone_path(id));
+        if self.done(id).is_some() {
+            return Ok(CancelOutcome::AlreadyDone);
+        }
+        Ok(CancelOutcome::Unknown)
+    }
+
+    /// Writes job `id`'s `cancelled` terminal record and retires every
+    /// live trace of it (queue/running entries, tombstone). Called by
+    /// [`Spool::cancel`] for queued jobs and by the pool once the last
+    /// in-flight seed of a tombstoned job has stopped.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error writing the record.
+    pub fn complete_cancelled(&self, id: &str, name: &str) -> io::Result<()> {
+        let record = astrx_oblx::json::ObjBuilder::new()
+            .field("format", "oblx-result")
+            .field("version", 1i64)
+            .field("id", id)
+            .field("name", name)
+            .field("status", "cancelled")
+            .build();
+        let path = self.cancelled_dir().join(format!("{id}.json"));
+        jobs::write_atomic(&path, &record.to_json())?;
+        let _ = std::fs::remove_file(self.running_dir().join(format!("{id}.json")));
+        let _ = std::fs::remove_file(self.queue_dir().join(format!("{id}.json")));
+        let _ = std::fs::remove_file(self.tombstone_path(id));
+        crate::events::EventLog::open(self, id).emit("job_cancelled", &[("name", name.into())]);
+        oblx_telemetry::incr(oblx_telemetry::Counter::JobCancelled);
+        Ok(())
+    }
+}
+
+/// What [`Spool::cancel`] found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job was still queued: dequeued and cancelled immediately.
+    Dequeued,
+    /// The job is claimed: tombstoned, the pool will stop and retire it.
+    Requested,
+    /// The job had already finished; its result stands.
+    AlreadyDone,
+    /// The job was already cancelled.
+    AlreadyCancelled,
+    /// No such job exists in the spool.
+    Unknown,
 }
 
 #[cfg(test)]
@@ -362,6 +494,86 @@ mod tests {
         assert_eq!(recovered, std::slice::from_ref(&job.id));
         assert!(spool.corrupt_dir().join("torn.json").exists());
         assert!(spool.running().is_empty());
+        std::fs::remove_dir_all(spool.root()).unwrap();
+    }
+
+    #[test]
+    fn cancel_dequeues_a_pending_job() {
+        let spool = temp_spool("cancel-queued");
+        let job = spool.submit(req("victim", 0)).unwrap();
+        assert_eq!(
+            spool.cancel(&job.id, "victim").unwrap(),
+            CancelOutcome::Dequeued
+        );
+        assert!(spool.pending().is_empty());
+        assert!(!spool.cancel_requested(&job.id), "tombstone retired");
+        let record = spool.cancelled(&job.id).unwrap();
+        assert_eq!(record.get("status").unwrap().as_str(), Some("cancelled"));
+        assert_eq!(spool.cancelled_ids(), std::slice::from_ref(&job.id));
+        // Idempotent: a second cancel reports the terminal state.
+        assert_eq!(
+            spool.cancel(&job.id, "victim").unwrap(),
+            CancelOutcome::AlreadyCancelled
+        );
+        std::fs::remove_dir_all(spool.root()).unwrap();
+    }
+
+    #[test]
+    fn cancel_tombstones_a_claimed_job() {
+        let spool = temp_spool("cancel-running");
+        let job = spool.submit(req("victim", 0)).unwrap();
+        let claimed = spool.claim_next().unwrap();
+        assert_eq!(claimed.id, job.id);
+        assert_eq!(
+            spool.cancel(&job.id, "victim").unwrap(),
+            CancelOutcome::Requested
+        );
+        assert!(spool.cancel_requested(&job.id));
+        assert!(spool.cancelled(&job.id).is_none(), "not yet terminal");
+        // The pool's acknowledgement path.
+        spool.complete_cancelled(&job.id, "victim").unwrap();
+        assert!(spool.running().is_empty());
+        assert!(!spool.cancel_requested(&job.id));
+        assert!(spool.cancelled(&job.id).is_some());
+        std::fs::remove_dir_all(spool.root()).unwrap();
+    }
+
+    #[test]
+    fn cancel_of_done_or_unknown_jobs_is_a_no_op() {
+        let spool = temp_spool("cancel-noop");
+        spool.submit(req("a", 0)).unwrap();
+        let job = spool.claim_next().unwrap();
+        let record = astrx_oblx::json::ObjBuilder::new()
+            .field("status", "ok")
+            .build();
+        spool.complete(&job.id, &record).unwrap();
+        assert_eq!(
+            spool.cancel(&job.id, "a").unwrap(),
+            CancelOutcome::AlreadyDone
+        );
+        assert_eq!(
+            spool.cancel("j999999", "ghost").unwrap(),
+            CancelOutcome::Unknown
+        );
+        assert!(!spool.cancel_requested("j999999"), "no stray tombstone");
+        std::fs::remove_dir_all(spool.root()).unwrap();
+    }
+
+    #[test]
+    fn recover_retires_tombstoned_orphans() {
+        let spool = temp_spool("recover-cancel");
+        spool.submit(req("keep", 0)).unwrap();
+        spool.submit(req("drop", 0)).unwrap();
+        let keep = spool.claim_next().unwrap();
+        let drop = spool.claim_next().unwrap();
+        assert_eq!(
+            spool.cancel(&drop.id, "drop").unwrap(),
+            CancelOutcome::Requested
+        );
+        let recovered = spool.recover();
+        assert_eq!(recovered, std::slice::from_ref(&keep.id));
+        assert_eq!(spool.pending().len(), 1);
+        assert!(spool.cancelled(&drop.id).is_some());
         std::fs::remove_dir_all(spool.root()).unwrap();
     }
 

@@ -1,0 +1,118 @@
+//! Graceful-shutdown integration test: SIGTERM a live `oblxd run`
+//! mid-job and require it to exit 0 on its own — workers stop claiming,
+//! the in-flight seed checkpoints and stops — leaving a spool that a
+//! second daemon resumes to completion. This is the cycle-under-load
+//! path (deploys, host maintenance) that previously required leaning on
+//! the SIGKILL-crash machinery.
+
+use astrx_oblx::json::Value;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const DIFFAMP: &str = include_str!("../../core/src/testdata/diffamp.ox");
+
+fn oblxd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_oblxd"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("oblx-term-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn done_record(spool: &Path, id: &str) -> Option<Value> {
+    let text = std::fs::read_to_string(spool.join("done").join(format!("{id}.json"))).ok()?;
+    astrx_oblx::json::parse(&text).ok()
+}
+
+#[test]
+#[cfg(unix)]
+fn sigterm_drains_gracefully_and_the_spool_resumes() {
+    let dir = temp_dir("spool");
+    let ox = dir.join("diffamp.ox");
+    std::fs::write(&ox, DIFFAMP).unwrap();
+    let spool = dir.join("spool");
+
+    let out = oblxd()
+        .args(["submit", "--dir"])
+        .arg(&spool)
+        .arg(&ox)
+        .args(["--seeds", "2", "--moves", "20000", "--name", "termme"])
+        .output()
+        .expect("oblxd submit runs");
+    assert!(out.status.success());
+    let id = String::from_utf8(out.stdout).unwrap().trim().to_string();
+
+    let mut child = oblxd()
+        .args(["run", "--dir"])
+        .arg(&spool)
+        .args(["--workers", "2", "--checkpoint-interval", "200"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("oblxd run spawns");
+
+    // Wait for the first on-disk checkpoint so the SIGTERM lands
+    // mid-seed, then deliver it.
+    let ckdir = spool.join("ckpt").join(&id);
+    let first_ckpt = || {
+        std::fs::read_dir(&ckdir)
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .any(|e| e.path().to_string_lossy().ends_with(".ckpt.json"))
+            })
+            .unwrap_or(false)
+    };
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !first_ckpt() {
+        assert!(Instant::now() < deadline, "no checkpoint within 60 s");
+        assert!(
+            child.try_wait().expect("try_wait").is_none(),
+            "daemon exited before the signal (run mode should poll forever)"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let kill = Command::new("kill")
+        .arg(child.id().to_string())
+        .status()
+        .expect("kill runs");
+    assert!(kill.success(), "SIGTERM delivered");
+
+    // The daemon must exit on its own, successfully, within a generous
+    // window (one checkpoint interval of work plus teardown).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "daemon ignored SIGTERM for 60 s");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(status.success(), "graceful shutdown exits 0, got {status}");
+
+    // Shutdown is not completion: the job stays claimed with its
+    // checkpoints behind, and is neither done nor lost.
+    assert!(done_record(&spool, &id).is_none(), "job must not be done");
+    assert!(
+        spool.join("running").join(format!("{id}.json")).exists(),
+        "interrupted job stays in running/ for the next recover()"
+    );
+    assert!(first_ckpt(), "checkpoints survive the shutdown");
+
+    // A fresh daemon over the same spool recovers and finishes it.
+    let status = oblxd()
+        .args(["run", "--dir"])
+        .arg(&spool)
+        .args(["--drain", "--workers", "2", "--checkpoint-interval", "200"])
+        .stdout(Stdio::null())
+        .status()
+        .expect("oblxd run runs");
+    assert!(status.success());
+    let record = done_record(&spool, &id).expect("resumed job completed");
+    assert_eq!(record.get("status").unwrap().as_str(), Some("ok"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -117,6 +117,18 @@ pub enum Counter {
     SparseRefactor,
     /// Sparse solves that fell back to the dense LU path (bad pivot).
     SparseFallback,
+    /// HTTP requests accepted for handling by the API edge.
+    HttpRequest,
+    /// HTTP requests answered with a 4xx status (client errors).
+    Http4xx,
+    /// HTTP requests answered with a 5xx status (server errors).
+    Http5xx,
+    /// HTTP requests rejected 429 by the per-client token bucket.
+    HttpQuotaRejected,
+    /// Connections shed 429 because the admission queue was full.
+    HttpAdmissionRejected,
+    /// Jobs that reached the `cancelled` terminal state.
+    JobCancelled,
     /// Number of counters (array size), not a real counter.
     Count,
 }
@@ -143,6 +155,12 @@ const COUNTER_NAMES: [&str; Counter::Count as usize] = [
     "sparse_fill",
     "sparse_refactor",
     "sparse_fallback",
+    "http_request",
+    "http_4xx",
+    "http_5xx",
+    "http_quota_rejected",
+    "http_admission_rejected",
+    "job_cancelled",
 ];
 
 static COUNTERS: [AtomicU64; Counter::Count as usize] = [ZERO; Counter::Count as usize];
@@ -159,6 +177,8 @@ pub enum SpanKind {
     SparseSymbolic,
     /// One sparse numeric refactorization over a fixed pattern.
     SparseRefactor,
+    /// One HTTP request handled by the API edge (parse → response).
+    HttpRequest,
     /// Number of span kinds (array size), not a real span.
     Count,
 }
@@ -168,6 +188,7 @@ const SPAN_NAMES: [&str; SpanKind::Count as usize] = [
     "awe_analyze",
     "sparse_symbolic",
     "sparse_refactor",
+    "http_request",
 ];
 
 struct Hist {
@@ -230,8 +251,13 @@ impl Hist {
     }
 }
 
-static SPAN_HISTS: [Hist; SpanKind::Count as usize] =
-    [Hist::new(), Hist::new(), Hist::new(), Hist::new()];
+static SPAN_HISTS: [Hist; SpanKind::Count as usize] = [
+    Hist::new(),
+    Hist::new(),
+    Hist::new(),
+    Hist::new(),
+    Hist::new(),
+];
 static PIVOT_HIST: Hist = Hist::new();
 
 static MOVE_ATTEMPTS: [AtomicU64; MAX_CLASSES] = [ZERO; MAX_CLASSES];
