@@ -126,6 +126,7 @@ fn main() -> ExitCode {
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(2_000),
             drain: false,
+            ..PoolOptions::default()
         };
         if pool_opts.checkpoint_every == 0 {
             eprintln!("error: --checkpoint-interval must be positive");

@@ -1,9 +1,11 @@
-//! A deliberately small HTTP/1.1 implementation: parse one request off
-//! a [`TcpStream`], write one response, close. No keep-alive, no
-//! pipelining, no TLS — the edge sits next to its clients (CI, a lab
-//! submit script, a load balancer that terminates everything fancier),
-//! and `Connection: close` per request keeps every code path trivially
-//! bounded: a connection is *one* request, one response, one close.
+//! A deliberately small HTTP/1.1 implementation: parse requests off a
+//! [`TcpStream`], write responses. No pipelining, no TLS — the edge
+//! sits next to its clients (CI, a lab submit script, a load balancer
+//! that terminates everything fancier). Keep-alive is supported but
+//! the *server* stays in charge: every response carries an explicit
+//! `Connection:` header chosen by the caller, and the server bounds a
+//! persistent connection with a request cap and an idle timeout so a
+//! connection can never hold a worker thread hostage.
 //!
 //! Robustness is in the limits, not the feature set: the head (request
 //! line + headers) is capped, the body is capped by the server's
@@ -32,6 +34,10 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The request body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// Whether the client allows the connection to persist after the
+    /// response: HTTP/1.1 unless `Connection: close`, HTTP/1.0 only
+    /// with an explicit `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -41,6 +47,21 @@ impl Request {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
+    }
+}
+
+/// The `Connection:` token a request's version + header imply.
+fn wants_keep_alive(version: &str, headers: &[(String, String)]) -> bool {
+    let conn = headers
+        .iter()
+        .find(|(k, _)| k == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase())
+        .unwrap_or_default();
+    let has = |token: &str| conn.split(',').any(|t| t.trim() == token);
+    if version == "HTTP/1.0" {
+        has("keep-alive")
+    } else {
+        !has("close")
     }
 }
 
@@ -134,6 +155,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         method: method.to_string(),
         path,
         query,
+        keep_alive: wants_keep_alive(version, &headers),
         headers,
         body,
     })
@@ -188,7 +210,8 @@ pub fn reason(status: u16) -> &'static str {
 }
 
 /// Writes a complete response (status, headers, body) and flushes.
-/// Always `Connection: close`.
+/// The `Connection:` header states `keep_alive` explicitly, so the
+/// client always knows whether the server will honor another request.
 ///
 /// # Errors
 ///
@@ -198,9 +221,11 @@ pub fn respond(
     status: u16,
     content_type: &str,
     body: &[u8],
+    keep_alive: bool,
 ) -> io::Result<()> {
+    let conn = if keep_alive { "keep-alive" } else { "close" };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {conn}\r\n\r\n",
         reason(status),
         body.len()
     );
@@ -214,8 +239,19 @@ pub fn respond(
 /// # Errors
 ///
 /// Propagates socket write errors.
-pub fn respond_json(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
-    respond(stream, status, "application/json", body.as_bytes())
+pub fn respond_json(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    respond(
+        stream,
+        status,
+        "application/json",
+        body.as_bytes(),
+        keep_alive,
+    )
 }
 
 /// A `Transfer-Encoding: chunked` response writer for the event-stream
@@ -237,6 +273,9 @@ impl<'a> ChunkedWriter<'a> {
         status: u16,
         content_type: &str,
     ) -> io::Result<ChunkedWriter<'a>> {
+        // A chunked stream runs until the job is terminal and may span
+        // minutes; the connection always closes behind it rather than
+        // tracking stream state across requests.
         let head = format!(
             "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
             reason(status)
@@ -328,6 +367,16 @@ mod tests {
                 HttpError::BadRequest(_)
             ));
         }
+    }
+
+    #[test]
+    fn keep_alive_follows_version_defaults_and_connection_header() {
+        let ka = |raw: &[u8]| parse_bytes(raw, 1024).unwrap().keep_alive;
+        assert!(ka(b"GET / HTTP/1.1\r\n\r\n"), "1.1 defaults to keep-alive");
+        assert!(!ka(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+        assert!(!ka(b"GET / HTTP/1.0\r\n\r\n"), "1.0 defaults to close");
+        assert!(ka(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"));
+        assert!(!ka(b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n"));
     }
 
     #[test]

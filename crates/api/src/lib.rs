@@ -10,7 +10,7 @@
 //!
 //! Everything is hand-rolled on `std::net` because the workspace
 //! vendors no web framework, and because the protocol surface we need
-//! is genuinely small — six routes, `Connection: close`, one chunked
+//! is genuinely small — seven routes, bounded keep-alive, one chunked
 //! stream:
 //!
 //! * [`http`] — HTTP/1.1 request parsing and response writing, with
@@ -20,7 +20,7 @@
 //! * [`server`] — nonblocking accept loop, **bounded** admission queue
 //!   (full → shed with 429 at the door), worker-thread pool, graceful
 //!   shutdown off the same flag the worker pool uses.
-//! * [`routes`] — the six endpoints. Submissions are validated at the
+//! * [`routes`] — the seven endpoints. Submissions are validated at the
 //!   edge with the same [`oblx_runtime::validate_job`] path the
 //!   workers use; the netlist parser's line/column diagnostics come
 //!   back as structured 4xx JSON.

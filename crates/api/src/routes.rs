@@ -1,4 +1,4 @@
-//! The hand-rolled router and the six endpoint handlers.
+//! The hand-rolled router and the seven endpoint handlers.
 //!
 //! ```text
 //! POST   /v1/jobs             submit a deck; edge-validated, 4xx on bad input
@@ -7,6 +7,7 @@
 //! DELETE /v1/jobs/:id         cancel (tombstone honored by the pool)
 //! GET    /v1/jobs/:id/events  chunked streaming tail of the JSONL event log
 //! GET    /v1/metrics          live telemetry snapshot
+//! GET    /v1/cluster          daemon membership + per-host worker state
 //! ```
 //!
 //! Every error body has one shape — `{"error":{"kind":…,"message":…}}`
@@ -49,33 +50,46 @@ pub fn error_body(kind: &str, message: &str) -> String {
 }
 
 /// Dispatches one request. Returns the response status (for the
-/// telemetry counters); the response itself has already been written.
+/// telemetry counters) and whether the connection stays open; the
+/// response itself has already been written. `keep_alive` is the
+/// server's offer (client willing, caps not hit) — handlers echo it
+/// except the streaming endpoint, which always closes behind itself.
 ///
 /// # Errors
 ///
 /// Socket-level failures only — protocol-level problems are answered
 /// with a 4xx/5xx, not returned.
-pub fn handle(ctx: &Ctx, req: &Request, stream: &mut TcpStream) -> io::Result<u16> {
+pub fn handle(
+    ctx: &Ctx,
+    req: &Request,
+    stream: &mut TcpStream,
+    keep_alive: bool,
+) -> io::Result<(u16, bool)> {
+    let ka = keep_alive;
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
-        ("POST", ["v1", "jobs"]) => submit(ctx, req, stream),
-        ("GET", ["v1", "jobs", id]) => job_state(ctx, id, stream),
-        ("GET", ["v1", "jobs", id, "result"]) => job_result(ctx, id, stream),
+        ("POST", ["v1", "jobs"]) => submit(ctx, req, stream, ka),
+        ("GET", ["v1", "jobs", id]) => job_state(ctx, id, stream, ka),
+        ("GET", ["v1", "jobs", id, "result"]) => job_result(ctx, id, stream, ka),
         ("GET", ["v1", "jobs", id, "events"]) => job_events(ctx, req, id, stream),
-        ("DELETE", ["v1", "jobs", id]) => job_cancel(ctx, id, stream),
-        ("GET", ["v1", "metrics"]) => metrics(stream),
-        (_, ["v1", "jobs"]) | (_, ["v1", "jobs", ..]) | (_, ["v1", "metrics"]) => {
+        ("DELETE", ["v1", "jobs", id]) => job_cancel(ctx, id, stream, ka),
+        ("GET", ["v1", "metrics"]) => metrics(stream, ka),
+        ("GET", ["v1", "cluster"]) => cluster(ctx, stream, ka),
+        (_, ["v1", "jobs"])
+        | (_, ["v1", "jobs", ..])
+        | (_, ["v1", "metrics"])
+        | (_, ["v1", "cluster"]) => {
             let body = error_body(
                 "method_not_allowed",
                 &format!("{} not allowed here", req.method),
             );
-            http::respond_json(stream, 405, &body)?;
-            Ok(405)
+            http::respond_json(stream, 405, &body, ka)?;
+            Ok((405, ka))
         }
         _ => {
             let body = error_body("not_found", &format!("no route for {}", req.path));
-            http::respond_json(stream, 404, &body)?;
-            Ok(404)
+            http::respond_json(stream, 404, &body, ka)?;
+            Ok((404, ka))
         }
     }
 }
@@ -177,12 +191,12 @@ fn parse_submit_body(body: &[u8]) -> Result<JobRequest, String> {
 }
 
 /// `POST /v1/jobs` — validate at the edge, spool on success.
-fn submit(ctx: &Ctx, req: &Request, stream: &mut TcpStream) -> io::Result<u16> {
+fn submit(ctx: &Ctx, req: &Request, stream: &mut TcpStream, ka: bool) -> io::Result<(u16, bool)> {
     let request = match parse_submit_body(&req.body) {
         Ok(r) => r,
         Err(msg) => {
-            http::respond_json(stream, 400, &error_body("bad_request", &msg))?;
-            return Ok(400);
+            http::respond_json(stream, 400, &error_body("bad_request", &msg), ka)?;
+            return Ok((400, ka));
         }
     };
     // The same validation the worker pool would run, pulled forward to
@@ -211,8 +225,8 @@ fn submit(ctx: &Ctx, req: &Request, stream: &mut TcpStream) -> io::Result<u16> {
             JobError::UnknownDeck(_) => (422, error_body("unknown_deck", &e.to_string())),
             JobError::Compile(_) => (422, error_body("compile", &e.to_string())),
         };
-        http::respond_json(stream, status, &body)?;
-        return Ok(status);
+        http::respond_json(stream, status, &body, ka)?;
+        return Ok((status, ka));
     }
     match ctx.spool.submit(request) {
         Ok(job) => {
@@ -232,13 +246,13 @@ fn submit(ctx: &Ctx, req: &Request, stream: &mut TcpStream) -> io::Result<u16> {
                 .field("events_url", format!("/v1/jobs/{}/events", job.id))
                 .build()
                 .to_json();
-            http::respond_json(stream, 201, &body)?;
-            Ok(201)
+            http::respond_json(stream, 201, &body, ka)?;
+            Ok((201, ka))
         }
         Err(e) => {
             let body = error_body("spool", &format!("submit failed: {e}"));
-            http::respond_json(stream, 500, &body)?;
-            Ok(500)
+            http::respond_json(stream, 500, &body, ka)?;
+            Ok((500, ka))
         }
     }
 }
@@ -308,39 +322,39 @@ fn state_of(spool: &Spool, id: &str) -> Option<Value> {
 }
 
 /// `GET /v1/jobs/:id`.
-fn job_state(ctx: &Ctx, id: &str, stream: &mut TcpStream) -> io::Result<u16> {
+fn job_state(ctx: &Ctx, id: &str, stream: &mut TcpStream, ka: bool) -> io::Result<(u16, bool)> {
     match state_of(&ctx.spool, id) {
         Some(state) => {
-            http::respond_json(stream, 200, &state.to_json())?;
-            Ok(200)
+            http::respond_json(stream, 200, &state.to_json(), ka)?;
+            Ok((200, ka))
         }
         None => {
             let body = error_body("not_found", &format!("no job {id}"));
-            http::respond_json(stream, 404, &body)?;
-            Ok(404)
+            http::respond_json(stream, 404, &body, ka)?;
+            Ok((404, ka))
         }
     }
 }
 
 /// `GET /v1/jobs/:id/result` — the terminal record, verbatim from the
 /// result store (`done/` or `cancelled/`).
-fn job_result(ctx: &Ctx, id: &str, stream: &mut TcpStream) -> io::Result<u16> {
+fn job_result(ctx: &Ctx, id: &str, stream: &mut TcpStream, ka: bool) -> io::Result<(u16, bool)> {
     if let Some(record) = ctx.spool.done(id).or_else(|| ctx.spool.cancelled(id)) {
-        http::respond_json(stream, 200, &record.to_json())?;
-        return Ok(200);
+        http::respond_json(stream, 200, &record.to_json(), ka)?;
+        return Ok((200, ka));
     }
     if state_of(&ctx.spool, id).is_some() {
         let body = error_body("not_ready", &format!("job {id} has not finished"));
-        http::respond_json(stream, 409, &body)?;
-        return Ok(409);
+        http::respond_json(stream, 409, &body, ka)?;
+        return Ok((409, ka));
     }
     let body = error_body("not_found", &format!("no job {id}"));
-    http::respond_json(stream, 404, &body)?;
-    Ok(404)
+    http::respond_json(stream, 404, &body, ka)?;
+    Ok((404, ka))
 }
 
 /// `DELETE /v1/jobs/:id`.
-fn job_cancel(ctx: &Ctx, id: &str, stream: &mut TcpStream) -> io::Result<u16> {
+fn job_cancel(ctx: &Ctx, id: &str, stream: &mut TcpStream, ka: bool) -> io::Result<(u16, bool)> {
     let name = ctx
         .spool
         .pending()
@@ -377,22 +391,27 @@ fn job_cancel(ctx: &Ctx, id: &str, stream: &mut TcpStream) -> io::Result<u16> {
         Ok(CancelOutcome::Unknown) => (404, error_body("not_found", &format!("no job {id}"))),
         Err(e) => (500, error_body("spool", &format!("cancel failed: {e}"))),
     };
-    http::respond_json(stream, status, &body)?;
-    Ok(status)
+    http::respond_json(stream, status, &body, ka)?;
+    Ok((status, ka))
 }
 
 /// `GET /v1/jobs/:id/events` — a chunked tail of the JSONL event log.
 /// With `?follow=0` the current log is dumped and the stream closes;
 /// otherwise new lines stream as they land until the job reaches a
 /// terminal state (or the server shuts down / the client hangs up).
-fn job_events(ctx: &Ctx, req: &Request, id: &str, stream: &mut TcpStream) -> io::Result<u16> {
+fn job_events(
+    ctx: &Ctx,
+    req: &Request,
+    id: &str,
+    stream: &mut TcpStream,
+) -> io::Result<(u16, bool)> {
     let log = EventLog::open(&ctx.spool, id);
     let known = state_of(&ctx.spool, id).is_some()
         || ctx.spool.events_dir().join(format!("{id}.jsonl")).exists();
     if !known {
         let body = error_body("not_found", &format!("no job {id}"));
-        http::respond_json(stream, 404, &body)?;
-        return Ok(404);
+        http::respond_json(stream, 404, &body, false)?;
+        return Ok((404, false));
     }
     let follow = !req.query.split('&').any(|kv| kv == "follow=0");
     let mut writer = ChunkedWriter::start(stream, 200, "application/x-ndjson")?;
@@ -413,13 +432,61 @@ fn job_events(ctx: &Ctx, req: &Request, id: &str, stream: &mut TcpStream) -> io:
         std::thread::sleep(Duration::from_millis(25));
     }
     writer.finish()?;
-    Ok(200)
+    Ok((200, false))
+}
+
+/// `GET /v1/cluster` — who is draining this spool right now: one entry
+/// per host heartbeat, each with its pid, beat counter, and the live
+/// worker snapshot, plus the spool-wide lease count. This is the
+/// API-side view of `oblxd status` on a multi-host spool.
+fn cluster(ctx: &Ctx, stream: &mut TcpStream, ka: bool) -> io::Result<(u16, bool)> {
+    let workers = oblx_runtime::events::read_workers(&ctx.spool);
+    let hosts: Vec<Value> = ctx
+        .spool
+        .hosts()
+        .into_iter()
+        .map(|h| {
+            let rows: Vec<Value> = workers
+                .iter()
+                .filter(|w| w.host == h.host)
+                .map(|w| {
+                    ObjBuilder::new()
+                        .field("worker", w.worker)
+                        .field("busy", w.busy)
+                        .field("job", w.job.clone().map(Value::Str).unwrap_or(Value::Null))
+                        .field(
+                            "seed",
+                            w.seed
+                                .and_then(|s| i64::try_from(s).ok())
+                                .map(Value::Int)
+                                .unwrap_or(Value::Null),
+                        )
+                        .field("tasks_done", w.tasks_done)
+                        .build()
+                })
+                .collect();
+            ObjBuilder::new()
+                .field("host", h.host.as_str())
+                .field("pid", i64::from(h.pid))
+                .field("workers", h.workers)
+                .field("beat", i64::try_from(h.beat).unwrap_or(i64::MAX))
+                .field("worker_state", Value::Arr(rows))
+                .build()
+        })
+        .collect();
+    let body = ObjBuilder::new()
+        .field("hosts", Value::Arr(hosts))
+        .field("leases", ctx.spool.leases().len())
+        .build()
+        .to_json();
+    http::respond_json(stream, 200, &body, ka)?;
+    Ok((200, ka))
 }
 
 /// `GET /v1/metrics` — the live telemetry snapshot, same JSON the
 /// daemon appends to `metrics.jsonl`.
-fn metrics(stream: &mut TcpStream) -> io::Result<u16> {
+fn metrics(stream: &mut TcpStream, ka: bool) -> io::Result<(u16, bool)> {
     let snapshot = oblx_telemetry::Snapshot::capture();
-    http::respond_json(stream, 200, &snapshot.to_json())?;
-    Ok(200)
+    http::respond_json(stream, 200, &snapshot.to_json(), ka)?;
+    Ok((200, ka))
 }

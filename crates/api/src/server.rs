@@ -41,6 +41,13 @@ pub struct ServerOptions {
     pub write_timeout: Duration,
     /// Maximum accepted request body, bytes.
     pub max_body: usize,
+    /// Requests served per keep-alive connection before the server
+    /// closes it (`1` disables keep-alive entirely). The cap bounds how
+    /// long one client can monopolize a worker thread.
+    pub keepalive_max_requests: usize,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub keepalive_idle_timeout: Duration,
 }
 
 impl Default for ServerOptions {
@@ -54,6 +61,8 @@ impl Default for ServerOptions {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             max_body: 1024 * 1024,
+            keepalive_max_requests: 100,
+            keepalive_idle_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -161,8 +170,9 @@ fn accept_loop(
                     // accept thread, bounded by the write timeout.
                     oblx_telemetry::incr(Counter::HttpAdmissionRejected);
                     let _ = stream.set_write_timeout(Some(write_timeout));
+                    let _ = stream.set_nodelay(true);
                     let body = routes::error_body("admission", "server is at capacity, retry");
-                    let _ = http::respond_json(&mut stream, 429, &body);
+                    let _ = http::respond_json(&mut stream, 429, &body, false);
                     continue;
                 }
                 queue.push_back(stream);
@@ -204,30 +214,56 @@ fn worker_loop(
             }
         };
         let Some(mut stream) = stream else { return };
-        let _span = oblx_telemetry::span(SpanKind::HttpRequest);
-        oblx_telemetry::incr(Counter::HttpRequest);
-        let _ = stream.set_read_timeout(Some(opts.read_timeout));
         let _ = stream.set_write_timeout(Some(opts.write_timeout));
-        let status = serve_one(ctx, quota, opts, &mut stream);
-        if let Some(status) = status {
+        // Responses go out as two small writes (head, then body); with
+        // Nagle on, the second would stall ~40 ms behind the peer's
+        // delayed ACK on a reused keep-alive connection.
+        let _ = stream.set_nodelay(true);
+        // Keep-alive: serve up to `keepalive_max_requests` requests off
+        // this connection. The first head read runs under the ordinary
+        // read timeout; between requests the shorter idle timeout
+        // applies, so a parked client gives the thread back quickly.
+        let mut served = 0usize;
+        loop {
+            let timeout = if served == 0 {
+                opts.read_timeout
+            } else {
+                opts.read_timeout.min(opts.keepalive_idle_timeout)
+            };
+            let _ = stream.set_read_timeout(Some(timeout));
+            let last = served + 1 >= opts.keepalive_max_requests.max(1);
+            let offer = !last && !shutdown.load(Ordering::SeqCst);
+            let Some((status, keep)) = serve_one(ctx, quota, opts, &mut stream, offer, served > 0)
+            else {
+                break;
+            };
+            served += 1;
             if (400..500).contains(&status) {
                 oblx_telemetry::incr(Counter::Http4xx);
             } else if status >= 500 {
                 oblx_telemetry::incr(Counter::Http5xx);
             }
+            if !keep {
+                break;
+            }
         }
     }
 }
 
-/// Reads, quota-checks, and dispatches one request. Returns the
-/// response status, or `None` when the socket died before an answer
-/// could be written.
+/// Reads, quota-checks, and dispatches one request. `offer_keep_alive`
+/// is the server's willingness to serve another request afterwards;
+/// the response persists the connection only when the client agrees.
+/// Returns the response status and whether the connection stays open,
+/// or `None` when the socket died (or, on a kept-alive connection,
+/// went idle past the timeout) before an answer could be written.
 fn serve_one(
     ctx: &Ctx,
     quota: &Quota,
     opts: &ServerOptions,
     stream: &mut TcpStream,
-) -> Option<u16> {
+    offer_keep_alive: bool,
+    idle_wait: bool,
+) -> Option<(u16, bool)> {
     // Quota key: the peer IP. Behind a reverse proxy every request
     // shares one IP and the bucket becomes a global limiter — still
     // the safe failure direction for an edge this small.
@@ -238,29 +274,38 @@ fn serve_one(
     let req = match http::read_request(stream, opts.max_body) {
         Ok(req) => req,
         Err(HttpError::BadRequest(msg)) => {
-            let _ = http::respond_json(stream, 400, &routes::error_body("bad_request", &msg));
-            return Some(400);
+            // A clean EOF between keep-alive requests is the client
+            // hanging up, not a malformed request.
+            if idle_wait && msg == "connection closed mid-head" {
+                return None;
+            }
+            let _ =
+                http::respond_json(stream, 400, &routes::error_body("bad_request", &msg), false);
+            return Some((400, false));
         }
         Err(HttpError::HeadTooLarge) => {
             let body = routes::error_body("head_too_large", "request head over 8 KiB");
-            let _ = http::respond_json(stream, 431, &body);
-            return Some(431);
+            let _ = http::respond_json(stream, 431, &body, false);
+            return Some((431, false));
         }
         Err(HttpError::BodyTooLarge(n)) => {
             let body = routes::error_body(
                 "body_too_large",
                 &format!("body of {n} bytes over the {}-byte cap", opts.max_body),
             );
-            let _ = http::respond_json(stream, 413, &body);
-            return Some(413);
+            let _ = http::respond_json(stream, 413, &body, false);
+            return Some((413, false));
         }
         Err(HttpError::Io(_)) => return None,
     };
+    let _span = oblx_telemetry::span(SpanKind::HttpRequest);
+    oblx_telemetry::incr(Counter::HttpRequest);
+    let keep_alive = offer_keep_alive && req.keep_alive;
     if !quota.admit(&key) {
         oblx_telemetry::incr(Counter::HttpQuotaRejected);
         let body = routes::error_body("quota", "per-client rate limit exceeded, slow down");
-        let _ = http::respond_json(stream, 429, &body);
-        return Some(429);
+        let _ = http::respond_json(stream, 429, &body, keep_alive);
+        return Some((429, keep_alive));
     }
-    routes::handle(ctx, &req, stream).ok()
+    routes::handle(ctx, &req, stream, keep_alive).ok()
 }

@@ -41,6 +41,7 @@ fn start(
                 workers: pool_workers,
                 checkpoint_every: 50,
                 drain: false,
+                ..PoolOptions::default()
             };
             pool::run(&spool, &opts, &flag)
         })
@@ -261,6 +262,110 @@ fn cancel_over_http_reaches_the_cancelled_state() {
         "events: {}",
         events.text()
     );
+    stop(server, &shutdown, pool, &dir);
+}
+
+#[test]
+fn keep_alive_serves_many_requests_then_caps_the_connection() {
+    let opts = ServerOptions {
+        quota_rate: 0.0,
+        keepalive_max_requests: 3,
+        ..ServerOptions::default()
+    };
+    let (server, shutdown, pool, dir) = start("keepalive", opts, 0);
+    let addr = server.addr();
+
+    let mut conn = std::net::TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    // Requests 1 and 2 persist; request 3 hits the per-connection cap
+    // and the server announces the close.
+    let r1 = request_on(&mut conn, "GET", "/v1/metrics");
+    assert_eq!(r1.status, 200);
+    assert_eq!(r1.header("connection"), Some("keep-alive"));
+    let r2 = request_on(&mut conn, "GET", "/v1/metrics");
+    assert_eq!(r2.status, 200);
+    assert_eq!(r2.header("connection"), Some("keep-alive"));
+    let r3 = request_on(&mut conn, "GET", "/v1/metrics");
+    assert_eq!(r3.status, 200);
+    assert_eq!(r3.header("connection"), Some("close"));
+    // And the socket really is closed now.
+    use std::io::Read as _;
+    let mut rest = Vec::new();
+    assert_eq!(conn.read_to_end(&mut rest).unwrap(), 0, "EOF after cap");
+
+    // A client that asks for close gets close, cap or no cap.
+    let r = get(addr, "/v1/metrics");
+    assert_eq!(r.status, 200);
+    assert_eq!(r.header("connection"), Some("close"));
+
+    // An idle keep-alive connection is reclaimed by the idle timeout.
+    let opts = ServerOptions {
+        quota_rate: 0.0,
+        keepalive_idle_timeout: Duration::from_millis(100),
+        ..ServerOptions::default()
+    };
+    let (server2, shutdown2, pool2, dir2) = start("keepalive-idle", opts, 0);
+    let mut conn = std::net::TcpStream::connect(server2.addr()).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let r = request_on(&mut conn, "GET", "/v1/metrics");
+    assert_eq!(r.header("connection"), Some("keep-alive"));
+    let mut rest = Vec::new();
+    assert_eq!(
+        conn.read_to_end(&mut rest).unwrap(),
+        0,
+        "idle connection closed by the server"
+    );
+    stop(server2, &shutdown2, pool2, &dir2);
+    stop(server, &shutdown, pool, &dir);
+}
+
+#[test]
+fn cluster_view_reports_hosts_and_worker_state() {
+    let opts = ServerOptions {
+        quota_rate: 0.0,
+        ..ServerOptions::default()
+    };
+    let (server, shutdown, pool, dir) = start("cluster", opts, 1);
+    let addr = server.addr();
+
+    // The in-process pool announces itself with a host heartbeat and a
+    // worker snapshot shortly after starting; poll until the cluster
+    // view reflects it.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let v = loop {
+        let resp = get(addr, "/v1/cluster");
+        assert_eq!(resp.status, 200);
+        let v = resp.json();
+        // The heartbeat and the worker snapshot are separate atomic
+        // writes; wait until both have landed.
+        let seen = v.get("hosts").and_then(Value::as_arr).is_some_and(|hosts| {
+            hosts.iter().any(|h| {
+                h.get("worker_state")
+                    .and_then(Value::as_arr)
+                    .is_some_and(|rows| !rows.is_empty())
+            })
+        });
+        if seen {
+            break v;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no host appeared in /v1/cluster within 30s"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let hosts = v.get("hosts").and_then(Value::as_arr).unwrap();
+    assert_eq!(hosts.len(), 1, "one daemon over this spool");
+    let h = &hosts[0];
+    assert!(!h.get("host").and_then(Value::as_str).unwrap().is_empty());
+    assert_eq!(h.get("workers").and_then(Value::as_int), Some(1));
+    let rows = h.get("worker_state").and_then(Value::as_arr).unwrap();
+    assert_eq!(rows.len(), 1, "one worker row for the one worker");
+    assert!(rows[0].get("busy").and_then(Value::as_bool).is_some());
+    assert!(v.get("leases").and_then(Value::as_int).is_some());
+
     stop(server, &shutdown, pool, &dir);
 }
 

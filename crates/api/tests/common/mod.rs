@@ -38,8 +38,8 @@ impl Response {
     }
 }
 
-/// Sends one request and reads the response to EOF (the server always
-/// answers `Connection: close`). Chunked bodies are decoded.
+/// Sends one request with `Connection: close` and reads the response
+/// to EOF. Chunked bodies are decoded.
 pub fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> Response {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
@@ -47,13 +47,41 @@ pub fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -
         .unwrap();
     let body = body.unwrap_or("");
     let raw = format!(
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(raw.as_bytes()).expect("send request");
     let mut bytes = Vec::new();
     stream.read_to_end(&mut bytes).expect("read response");
     parse_response(&bytes)
+}
+
+/// Sends one request on an already-open keep-alive connection and
+/// reads exactly one `Content-Length`-framed response off it, leaving
+/// the connection usable for the next request.
+pub fn request_on(stream: &mut TcpStream, method: &str, path: &str) -> Response {
+    let raw = format!("{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: 0\r\n\r\n");
+    stream.write_all(raw.as_bytes()).expect("send request");
+    let mut bytes = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Head first, then exactly Content-Length body bytes.
+        if let Some(head_end) = bytes.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = String::from_utf8_lossy(&bytes[..head_end]).to_ascii_lowercase();
+            let need: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("content-length:"))
+                .and_then(|v| v.trim().parse().ok())
+                .expect("keep-alive response has Content-Length");
+            if bytes.len() >= head_end + 4 + need {
+                bytes.truncate(head_end + 4 + need);
+                return parse_response(&bytes);
+            }
+        }
+        let n = stream.read(&mut chunk).expect("read response");
+        assert!(n > 0, "server closed mid-response");
+        bytes.extend_from_slice(&chunk[..n]);
+    }
 }
 
 pub fn get(addr: SocketAddr, path: &str) -> Response {

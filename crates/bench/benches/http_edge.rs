@@ -3,7 +3,9 @@
 //!
 //! * **submit→accept latency** — client-observed wall time of a
 //!   `POST /v1/jobs` (connect, edge-side parse + validate + compile,
-//!   atomic spool write, 201), reported as p50/p90/p99;
+//!   atomic spool write, 201), reported as p50/p90/p99 — measured
+//!   both with a fresh connection per request and over a single
+//!   keep-alive connection, so the connect/teardown cost is visible;
 //! * **queue throughput through the edge** — the same 100-small-job
 //!   drain the runtime suite times against the bare spool
 //!   (`BENCH_runtime.json` `queue_jobs_per_s`), but with every job
@@ -35,11 +37,12 @@ fn temp_dir(tag: &str) -> PathBuf {
 }
 
 /// One request, client side: connect, send, read the full response.
-/// Returns the status code.
+/// Asks for `Connection: close` so the read-to-EOF framing works;
+/// this is the fresh-connection-per-request path. Returns the status.
 fn roundtrip(addr: SocketAddr, method: &str, path: &str, body: &str) -> u16 {
     let mut stream = TcpStream::connect(addr).expect("connect");
     let raw = format!(
-        "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(raw.as_bytes()).expect("send");
@@ -50,6 +53,39 @@ fn roundtrip(addr: SocketAddr, method: &str, path: &str, body: &str) -> u16 {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0)
+}
+
+/// One request on an already-open keep-alive connection: send, then
+/// read exactly one `Content-Length`-framed response, leaving the
+/// socket usable for the next request. Returns the status code.
+fn roundtrip_on(stream: &mut TcpStream, method: &str, path: &str, body: &str) -> u16 {
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut bytes = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(head_end) = bytes.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = String::from_utf8_lossy(&bytes[..head_end]).to_ascii_lowercase();
+            let need: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("content-length:"))
+                .and_then(|v| v.trim().parse().ok())
+                .expect("keep-alive response has Content-Length");
+            if bytes.len() >= head_end + 4 + need {
+                return head
+                    .split(' ')
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0);
+            }
+        }
+        let n = stream.read(&mut chunk).expect("receive");
+        assert!(n > 0, "server closed mid-response");
+        bytes.extend_from_slice(&chunk[..n]);
+    }
 }
 
 /// Matches the job shape of the runtime suite's queue-throughput bench
@@ -81,6 +117,8 @@ fn bench(_c: &mut Criterion) {
     let shutdown = Arc::new(AtomicBool::new(false));
     let opts = ServerOptions {
         quota_rate: 0.0,
+        // High enough for the whole keep-alive run on one connection.
+        keepalive_max_requests: 10_000,
         ..ServerOptions::default()
     };
     let server = Server::start(
@@ -113,6 +151,30 @@ fn bench(_c: &mut Criterion) {
         p90 * 1e3,
         p99 * 1e3,
         submit_rate
+    );
+    // --- the same submits over one keep-alive connection -----------
+    // Same server, same job shape; the only variable is connection
+    // reuse, so the delta against the fresh-connection numbers above
+    // is the per-request connect + teardown cost.
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    let mut ka_s: Vec<f64> = (0..n_latency)
+        .map(|i| {
+            let body = submit_body(n_latency + i, 60);
+            let t = Instant::now();
+            let status = roundtrip_on(&mut conn, "POST", "/v1/jobs", &body);
+            let dt = t.elapsed().as_secs_f64();
+            assert_eq!(status, 201, "keep-alive submit accepted");
+            dt
+        })
+        .collect();
+    drop(conn);
+    ka_s.sort_by(|a, b| a.total_cmp(b));
+    let ka_p50 = percentile(&ka_s, 0.50);
+    let ka_rate = n_latency as f64 / ka_s.iter().sum::<f64>();
+    println!(
+        "api/submit_keepalive                     {n_latency} posts on one connection: p50 {:.2} ms ({:.1} submits/s sustained)",
+        ka_p50 * 1e3,
+        ka_rate
     );
     shutdown.store(true, Ordering::SeqCst);
     server.join();
@@ -150,6 +212,7 @@ fn bench(_c: &mut Criterion) {
             workers: 0,
             checkpoint_every: 1_000,
             drain: true,
+            ..PoolOptions::default()
         },
         &AtomicBool::new(false),
     );
@@ -211,6 +274,9 @@ fn bench(_c: &mut Criterion) {
         .field("submit_p90_s", p90)
         .field("submit_p99_s", p99)
         .field("submit_sustained_per_s", submit_rate)
+        .field("keepalive_posts", i64::try_from(n_latency).unwrap())
+        .field("keepalive_p50_s", ka_p50)
+        .field("keepalive_sustained_per_s", ka_rate)
         .field("queue_jobs", i64::try_from(n_jobs).unwrap())
         .field("queue_http_submit_s", submit_s)
         .field("queue_drain_s", drain_s)

@@ -122,6 +122,7 @@ fn bench(c: &mut Criterion) {
             workers: 0,
             checkpoint_every: 1_000,
             drain: true,
+            ..PoolOptions::default()
         },
         &AtomicBool::new(false),
     );

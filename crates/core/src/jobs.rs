@@ -624,6 +624,66 @@ pub fn checkpoint_path(dir: &Path, seed: u64) -> PathBuf {
     dir.join(format!("seed_{seed}.ckpt.json"))
 }
 
+/// The fence-qualified checkpoint path for one per-seed run. Fence 0 is
+/// the legacy unfenced name; positive fences embed the token in the
+/// filename (`seed_<s>.f<fence>.ckpt.json`). The token makes stale
+/// writers harmless on shared storage: a claim-holder that lost its
+/// lease keeps writing its *own* fence's file, which can never shadow
+/// the file of the higher-fence holder that took over — readers always
+/// prefer the highest fence present ([`load_latest_checkpoint`]).
+pub fn fenced_checkpoint_path(dir: &Path, seed: u64, fence: u64) -> PathBuf {
+    if fence == 0 {
+        checkpoint_path(dir, seed)
+    } else {
+        dir.join(format!("seed_{seed}.f{fence}.ckpt.json"))
+    }
+}
+
+/// Fence tokens that have a checkpoint file for `seed` in `dir` (0 for
+/// the legacy unfenced file), in no particular order.
+fn checkpoint_fences(dir: &Path, seed: u64) -> Vec<u64> {
+    let legacy = format!("seed_{seed}.ckpt.json");
+    let fenced_prefix = format!("seed_{seed}.f");
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut fences = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name == legacy {
+            fences.push(0);
+        } else if let Some(mid) = name
+            .strip_prefix(&fenced_prefix)
+            .and_then(|rest| rest.strip_suffix(".ckpt.json"))
+        {
+            if let Ok(fence) = mid.parse::<u64>() {
+                fences.push(fence);
+            }
+        }
+    }
+    fences
+}
+
+/// Loads the newest (highest-fence) valid checkpoint of `seed` in
+/// `dir`, returning it with its fence token. Torn or foreign-version
+/// files are skipped in favor of the next-newest fence.
+pub fn load_latest_checkpoint(dir: &Path, seed: u64) -> Option<(u64, SynthesisCheckpoint)> {
+    let mut fences = checkpoint_fences(dir, seed);
+    fences.sort_unstable_by(|a, b| b.cmp(a));
+    fences.into_iter().find_map(|fence| {
+        load_checkpoint(&fenced_checkpoint_path(dir, seed, fence)).map(|ck| (fence, ck))
+    })
+}
+
+/// Removes every checkpoint file of `seed` in `dir`, at every fence.
+/// Called once the seed has a durable done-record.
+pub fn remove_checkpoints(dir: &Path, seed: u64) {
+    for fence in checkpoint_fences(dir, seed) {
+        let _ = std::fs::remove_file(fenced_checkpoint_path(dir, seed, fence));
+    }
+}
+
 // ---------------------------------------------------------------------
 // Spool submission — the client side of the `oblxd` on-disk protocol.
 // The full queue/worker machinery lives in the runtime crate; the
@@ -753,11 +813,37 @@ pub fn run_seed_resumable(
     run_opts: &SynthesisOptions,
     dir: &Path,
     every: usize,
+    control: impl FnMut(&SynthesisCheckpoint) -> Directive,
+) -> Result<SynthesisOutcome, EvalFailure> {
+    run_seed_resumable_fenced(compiled, run_opts, dir, every, 0, control)
+}
+
+/// [`run_seed_resumable`] under a fencing token: checkpoints are
+/// written to [`fenced_checkpoint_path`] for `fence`, and the run
+/// resumes from the highest-fence valid checkpoint present — which is
+/// at most `fence` itself for the current claim-holder, or a lower
+/// fence left by a previous (possibly still-zombie) holder. Resuming
+/// from a zombie's last checkpoint is always safe: resume is
+/// bit-identical, so redoing the zombie's unpublished tail work
+/// reproduces it exactly.
+///
+/// # Errors
+///
+/// [`EvalFailure`] as for [`synthesize_controlled`].
+pub fn run_seed_resumable_fenced(
+    compiled: &CompiledProblem,
+    run_opts: &SynthesisOptions,
+    dir: &Path,
+    every: usize,
+    fence: u64,
     mut control: impl FnMut(&SynthesisCheckpoint) -> Directive,
 ) -> Result<SynthesisOutcome, EvalFailure> {
-    let path = checkpoint_path(dir, run_opts.seed);
-    let resume = load_checkpoint(&path)
-        .filter(|ck| ck.seed == run_opts.seed && ck.moves_budget == run_opts.moves_budget);
+    let path = fenced_checkpoint_path(dir, run_opts.seed, fence);
+    let resume = load_latest_checkpoint(dir, run_opts.seed)
+        .filter(|(f, ck)| {
+            *f <= fence && ck.seed == run_opts.seed && ck.moves_budget == run_opts.moves_budget
+        })
+        .map(|(_, ck)| ck);
     synthesize_controlled(compiled, run_opts, resume.as_ref(), every, |ck| {
         let _ = write_atomic(&path, &checkpoint_to_json(ck));
         control(ck)

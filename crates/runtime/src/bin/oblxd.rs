@@ -4,7 +4,9 @@
 //! oblxd submit --dir SPOOL (--bench NAME | file.ox)
 //!              [--name N] [--seeds N|a,b,c] [--moves N] [--priority P]
 //! oblxd run    --dir SPOOL [--workers N] [--checkpoint-interval N] [--drain]
-//! oblxd status --dir SPOOL
+//!              [--host-id H] [--lease-timeout SECS] [--portfolio]
+//! oblxd join   --dir SPOOL [same flags as run]
+//! oblxd status --dir SPOOL [--metrics]
 //! ```
 //!
 //! `submit` spools a job; `run` starts the worker pool (one worker per
@@ -12,6 +14,13 @@
 //! empty. A killed `run` restarted over the same spool recovers every
 //! orphaned job and resumes its seeds from their last checkpoints,
 //! bit-identically.
+//!
+//! Several daemons may share one spool directory (NFS-style): each
+//! needs a distinct `--host-id` (defaults to the hostname), claims
+//! individual seeds, and steals idle peers' work. `join` is `run` for
+//! the extra hosts of a cluster: it skips the startup recovery sweep,
+//! leaving lease reaping to the cluster reaper so a freshly joined
+//! host never requeues work a live peer still owns.
 
 use astrx_oblx::jobs::JobRequest;
 use astrx_oblx::{bench_suite, SynthesisOptions};
@@ -24,7 +33,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  oblxd submit --dir SPOOL (--bench NAME | file.ox) [--name N] \
          [--seeds N|a,b,c] [--moves N] [--priority P]\n  \
-         oblxd run --dir SPOOL [--workers N] [--checkpoint-interval N] [--drain]\n  \
+         oblxd run --dir SPOOL [--workers N] [--checkpoint-interval N] [--drain]\n            \
+         [--host-id H] [--lease-timeout SECS] [--portfolio]\n  \
+         oblxd join --dir SPOOL [same flags as run]\n  \
          oblxd cancel --dir SPOOL JOB_ID\n  \
          oblxd status --dir SPOOL [--metrics]"
     );
@@ -49,9 +60,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let spool = match opt(&rest, "--host-id") {
+        Some(host) => spool.with_host(host),
+        None => spool,
+    };
     match cmd.as_str() {
         "submit" => cmd_submit(&spool, &rest),
-        "run" => cmd_run(&spool, &rest),
+        "run" => cmd_run(&spool, &rest, true),
+        "join" => cmd_run(&spool, &rest, false),
         "cancel" => cmd_cancel(&spool, &rest),
         "status" => {
             print!("{}", status(&spool).render());
@@ -222,7 +238,7 @@ fn cmd_cancel(spool: &Spool, rest: &[&String]) -> ExitCode {
     }
 }
 
-fn cmd_run(spool: &Spool, rest: &[&String]) -> ExitCode {
+fn cmd_run(spool: &Spool, rest: &[&String], recover: bool) -> ExitCode {
     // The daemon always records telemetry: the per-run overhead is
     // within noise and `status --metrics` depends on the snapshots.
     oblx_telemetry::set_enabled(true);
@@ -235,9 +251,14 @@ fn cmd_run(spool: &Spool, rest: &[&String]) -> ExitCode {
         eprintln!("quarantined corrupt spool entry {id}");
         startup_corrupt += 1;
     }
-    for id in spool.recover() {
-        EventLog::open(spool, &id).emit("recovered", &[]);
-        eprintln!("recovered orphaned job {id}");
+    // `join` skips this: recovery requeues THIS host's orphans (a
+    // restart after a crash); a joining host has none, and foreign
+    // orphans are the cluster reaper's job, on lease-timeout evidence.
+    if recover {
+        for id in spool.recover() {
+            EventLog::open(spool, &id).emit("recovered", &[]);
+            eprintln!("recovered orphaned job {id}");
+        }
     }
     let opts = PoolOptions {
         workers: opt(rest, "--workers")
@@ -247,9 +268,19 @@ fn cmd_run(spool: &Spool, rest: &[&String]) -> ExitCode {
             .and_then(|s| s.parse().ok())
             .unwrap_or(2_000),
         drain: flag(rest, "--drain"),
+        lease_timeout: std::time::Duration::from_secs_f64(
+            opt(rest, "--lease-timeout")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(30.0),
+        ),
+        portfolio: flag(rest, "--portfolio"),
     };
     if opts.checkpoint_every == 0 {
         eprintln!("error: --checkpoint-interval must be positive");
+        return ExitCode::from(2);
+    }
+    if opts.lease_timeout < std::time::Duration::from_millis(100) {
+        eprintln!("error: --lease-timeout must be at least 0.1s");
         return ExitCode::from(2);
     }
     // SIGTERM/SIGINT drain gracefully: workers stop claiming, every
@@ -262,14 +293,17 @@ fn cmd_run(spool: &Spool, rest: &[&String]) -> ExitCode {
         eprintln!("shutdown: checkpointed in-flight seeds; restart to resume");
     }
     println!(
-        "done: {} job(s) completed, {} failed, {} cancelled, {} seed task(s) run, \
-         {} corrupt file(s) quarantined, {} panic(s) caught",
+        "done: {} job(s) completed, {} failed, {} cancelled, {} seed task(s) run \
+         ({} stolen), {} corrupt file(s) quarantined, {} panic(s) caught, \
+         {} lease(s) reaped",
         stats.jobs_completed,
         stats.jobs_failed,
         stats.jobs_cancelled,
         stats.seeds_run,
+        stats.seeds_stolen,
         stats.jobs_corrupt + startup_corrupt,
-        stats.seeds_panicked
+        stats.seeds_panicked,
+        stats.leases_reaped
     );
     ExitCode::SUCCESS
 }

@@ -193,6 +193,20 @@ pub fn render_metrics(data: &Value) -> String {
         counter("seed_panic"),
         counter("job_cancelled"),
     );
+    if counter("lease_acquired") > 0 || counter("lease_reaped") > 0 || counter("seed_stolen") > 0 {
+        let _ = writeln!(
+            out,
+            "cluster: {} leases acquired ({} released, {} reaped, {} lost), \
+             {} seeds stolen, portfolio {} published / {} adapted",
+            counter("lease_acquired"),
+            counter("lease_released"),
+            counter("lease_reaped"),
+            counter("lease_lost"),
+            counter("seed_stolen"),
+            counter("portfolio_published"),
+            counter("portfolio_adapted"),
+        );
+    }
     if counter("http_request") > 0
         || counter("http_quota_rejected") > 0
         || counter("http_admission_rejected") > 0
@@ -246,10 +260,13 @@ pub struct JobProgress {
     pub moves_budget: usize,
 }
 
-/// One worker's live state, from the pool's `workers.json` snapshot.
+/// One worker's live state, from a pool's `workers.<host>.json`
+/// snapshot (every host sharing the spool contributes one file).
 #[derive(Debug, Clone)]
 pub struct WorkerState {
-    /// Worker index.
+    /// Host the worker belongs to (empty for legacy snapshots).
+    pub host: String,
+    /// Worker index within its host.
     pub worker: usize,
     /// `true` while running a seed task.
     pub busy: bool,
@@ -274,8 +291,10 @@ pub struct Status {
     pub done_failed: usize,
     /// Jobs retired into the `cancelled` terminal state.
     pub cancelled: usize,
-    /// Live worker states (empty when no daemon has written them).
+    /// Live worker states, across every host that wrote a snapshot.
     pub workers: Vec<WorkerState>,
+    /// Host heartbeats (host id, worker count, beat counter).
+    pub hosts: Vec<crate::spool::HostInfo>,
 }
 
 impl Status {
@@ -315,21 +334,26 @@ impl Status {
                     self.workers.len(),
                     100.0 * u
                 );
+                let multi_host = self.hosts.len() > 1
+                    || self.workers.iter().any(|w| {
+                        !w.host.is_empty() && self.workers.iter().any(|o| o.host != w.host)
+                    });
                 for w in &self.workers {
+                    let tag = if multi_host && !w.host.is_empty() {
+                        format!("{}/w{}", w.host, w.worker)
+                    } else {
+                        format!("w{}", w.worker)
+                    };
                     match (&w.job, w.seed) {
                         (Some(job), Some(seed)) => {
                             let _ = writeln!(
                                 out,
-                                "  w{}: {} seed {} ({} tasks done)",
-                                w.worker, job, seed, w.tasks_done
+                                "  {tag}: {} seed {} ({} tasks done)",
+                                job, seed, w.tasks_done
                             );
                         }
                         _ => {
-                            let _ = writeln!(
-                                out,
-                                "  w{}: idle ({} tasks done)",
-                                w.worker, w.tasks_done
-                            );
+                            let _ = writeln!(out, "  {tag}: idle ({} tasks done)", w.tasks_done);
                         }
                     }
                 }
@@ -337,6 +361,13 @@ impl Status {
             None => {
                 let _ = writeln!(out, "workers: no live snapshot (daemon not running?)");
             }
+        }
+        if !self.hosts.is_empty() {
+            let _ = write!(out, "hosts:");
+            for h in &self.hosts {
+                let _ = write!(out, " {} ({} workers, beat {})", h.host, h.workers, h.beat);
+            }
+            let _ = writeln!(out);
         }
         for job in &self.running {
             let moved: usize = job.seed_attempted.values().sum();
@@ -431,22 +462,32 @@ pub fn status(spool: &Spool) -> Status {
         done_failed,
         cancelled: spool.cancelled_ids().len(),
         workers,
+        hosts: spool.hosts(),
     }
 }
 
-fn read_workers(spool: &Spool) -> Vec<WorkerState> {
-    let Ok(text) = std::fs::read_to_string(spool.workers_path()) else {
-        return Vec::new();
-    };
-    let Ok(doc) = json::parse(&text) else {
-        return Vec::new();
-    };
-    let Some(rows) = doc.get("workers").and_then(Value::as_arr) else {
-        return Vec::new();
-    };
-    rows.iter()
-        .filter_map(|row| {
+/// Reads every host's worker snapshot (`workers.<host>.json`) from the
+/// spool. Pub because the HTTP edge's cluster view reuses it.
+pub fn read_workers(spool: &Spool) -> Vec<WorkerState> {
+    let mut out = Vec::new();
+    for path in spool.all_workers_paths() {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let Ok(doc) = json::parse(&text) else {
+            continue;
+        };
+        let host = doc
+            .get("host")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        let Some(rows) = doc.get("workers").and_then(Value::as_arr) else {
+            continue;
+        };
+        out.extend(rows.iter().filter_map(|row| {
             Some(WorkerState {
+                host: host.clone(),
                 worker: usize::try_from(row.get("worker")?.as_int()?).ok()?,
                 busy: row.get("busy")?.as_bool()?,
                 job: row.get("job").and_then(Value::as_str).map(str::to_string),
@@ -460,8 +501,9 @@ fn read_workers(spool: &Spool) -> Vec<WorkerState> {
                     .and_then(|i| usize::try_from(i).ok())
                     .unwrap_or(0),
             })
-        })
-        .collect()
+        }));
+    }
+    out
 }
 
 #[cfg(test)]

@@ -1,35 +1,50 @@
-//! The work-stealing worker pool.
+//! The cluster worker pool.
 //!
-//! A claimed job is *sharded*: one task per seed, all pushed onto the
-//! claiming worker's local deque. Workers pop their own deque from the
-//! back (LIFO — warm caches) and steal from the front of other deques
-//! (FIFO — oldest, largest-remaining tasks first), so an 8-seed job
-//! claimed by one worker immediately spreads across every idle core,
-//! while a burst of one-seed jobs drains without contention on a single
-//! shared queue.
+//! A claimed job is *sharded* onto disk: one `seeds/<id>/s<seed>.open`
+//! entry per unfinished seed (see [`Spool::shard_job`]). Workers — in
+//! this process **and in every other daemon sharing the spool** — claim
+//! entries by atomic rename, so an 8-seed job claimed by one host
+//! immediately spreads across every idle core of every host. The local
+//! claim path keeps a cached scan ([`ClaimCursor`] for jobs, a shared
+//! deque for seed entries) so contention costs O(1) per lost rename,
+//! not a directory rescan.
 //!
 //! Determinism: a per-seed run is a pure function of (problem, options,
 //! seed) — workers never share annealing state — so neither the worker
-//! count nor the steal order can change any result, only wall-clock
-//! time. Interruption (shutdown flag, or the process being killed)
-//! leaves per-seed checkpoints behind; the next `run` over the same
-//! spool resumes each unfinished seed bit-identically and completed
+//! count, the steal order, nor the host placement can change any
+//! result, only wall-clock time. Interruption (shutdown flag, SIGKILL,
+//! a reaped lease) leaves fence-named per-seed checkpoints behind; any
+//! daemon resumes each unfinished seed bit-identically, and completed
 //! seeds are replayed from their `seed_<s>.done.json` records rather
 //! than re-run.
+//!
+//! Liveness: every claimed seed holds a lease refreshed at checkpoint
+//! time; the reaper tick watches `(owner, beat)` pairs and the owners'
+//! host heartbeats, and re-opens (with a bumped fencing token) entries
+//! whose holder died. A holder that lost its lease discovers it at the
+//! next refresh and abandons the seed; its stale checkpoints carry a
+//! lower fence in their *filenames*, so they can never shadow the new
+//! holder's state.
+//!
+//! Portfolio mode (opt-in, [`PoolOptions::portfolio`]) trades the
+//! bit-identity guarantee for convergence speed: seeds publish
+//! best-so-far cost and Hustin move statistics to `portfolio/<id>/` at
+//! checkpoints, and a seed that sees a clearly better peer restarts its
+//! move-class selection biased toward the peer's observed distribution.
 
 use crate::compile_job;
 use crate::events::EventLog;
-use crate::spool::Spool;
+use crate::spool::{ClaimCursor, LeaseName, SeedEntry, Spool};
 use astrx_oblx::jobs::{self, JobFile};
 use astrx_oblx::json::{ObjBuilder, Value};
-use astrx_oblx::oblx::{fixed_cost, OblxState};
+use astrx_oblx::oblx::{fixed_cost, OblxState, SynthesisCheckpoint};
 use astrx_oblx::{CompiledProblem, SynthesisOptions, SynthesisOutcome};
 use oblx_anneal::Directive;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Pool configuration.
 #[derive(Debug, Clone)]
@@ -41,6 +56,14 @@ pub struct PoolOptions {
     /// When `true`, return once the spool is drained; otherwise keep
     /// polling for new jobs until `shutdown` is raised.
     pub drain: bool,
+    /// How long a lease's `(owner, beat)` pair — and the owner's host
+    /// heartbeat — may sit unchanged before a peer reaps the lease and
+    /// re-opens its work entry.
+    pub lease_timeout: Duration,
+    /// Portfolio mode: exchange best-so-far statistics between seeds
+    /// and bias move selection toward the best peer. Intentionally
+    /// trades bit-identical results for convergence speed.
+    pub portfolio: bool,
 }
 
 impl Default for PoolOptions {
@@ -49,6 +72,8 @@ impl Default for PoolOptions {
             workers: 0,
             checkpoint_every: 2_000,
             drain: false,
+            lease_timeout: Duration::from_secs(30),
+            portfolio: false,
         }
     }
 }
@@ -68,6 +93,10 @@ pub struct RunStats {
     pub seeds_run: usize,
     /// Seed tasks that panicked (caught; the worker survived).
     pub seeds_panicked: usize,
+    /// Seed tasks claimed from a job another host shard-owns.
+    pub seeds_stolen: usize,
+    /// Expired leases reaped (work re-opened for the cluster).
+    pub leases_reaped: usize,
 }
 
 /// One finished (or failed) per-seed run — the plain-data record that
@@ -86,15 +115,12 @@ struct SeedRecord {
     failed: bool,
 }
 
-struct RunningJob {
+/// A job spec with its compiled problem, cached per pool run so a host
+/// compiles each job at most once however many of its seeds it runs.
+struct PreparedJob {
     file: JobFile,
     compiled: CompiledProblem,
-    log: EventLog,
-    remaining: AtomicUsize,
-    records: Mutex<Vec<Option<SeedRecord>>>,
 }
-
-type Task = (Arc<RunningJob>, usize);
 
 #[derive(Debug, Clone, Default)]
 struct WorkerSnap {
@@ -104,22 +130,65 @@ struct WorkerSnap {
     tasks_done: usize,
 }
 
+/// Why a per-seed run's checkpoint hook said [`Directive::Stop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StopCause {
+    /// It didn't (the run finished, failed, or panicked).
+    Ran,
+    /// Shutdown flag raised.
+    Shutdown,
+    /// Cancel tombstone appeared.
+    Cancelled,
+    /// Lease refresh failed — fenced out, the seed is not ours anymore.
+    LeaseLost,
+    /// Portfolio mode found a clearly better peer to adapt toward.
+    Adapt,
+}
+
+/// Claim-path state shared by the local workers.
+#[derive(Default)]
+struct ClaimState {
+    jobs: ClaimCursor,
+    seeds: VecDeque<SeedEntry>,
+}
+
+/// One remembered `(owner, beat, fence)` sighting; a lease (or host
+/// heartbeat) whose sighting sits unchanged past the timeout is dead.
+struct Observation {
+    owner: String,
+    beat: u64,
+    fence: u64,
+    since: Instant,
+}
+
+/// Reaper state: lease/heartbeat observations plus the tick clock.
+struct Reaper {
+    seen: HashMap<String, Observation>,
+    host_beats: HashMap<String, (u64, Instant)>,
+    last_tick: Option<Instant>,
+    beat: u64,
+}
+
 struct Shared<'a> {
     spool: &'a Spool,
     opts: &'a PoolOptions,
     shutdown: &'a AtomicBool,
-    locals: Vec<Mutex<VecDeque<Task>>>,
-    /// Serializes claim-and-shard so drain-exit checks are race-free.
-    claim_lock: Mutex<()>,
-    /// Seed tasks sharded but not yet finished or abandoned.
+    workers: usize,
+    claim: Mutex<ClaimState>,
+    prepared: Mutex<HashMap<String, Option<Arc<PreparedJob>>>>,
+    /// Locally claimed seed tasks not yet finished or handed back.
     inflight: AtomicUsize,
     snaps: Mutex<Vec<WorkerSnap>>,
     stats: Mutex<RunStats>,
+    reaper: Mutex<Reaper>,
 }
 
 /// Runs the pool over `spool` until drained (with
 /// [`PoolOptions::drain`]) or until `shutdown` is raised. Call
-/// [`Spool::recover`] first when restarting after a crash.
+/// [`Spool::recover`] first when restarting after a crash. Several
+/// daemons may run this concurrently over one spool; drain mode waits
+/// for the *whole* spool (including peers' in-flight work, which it
+/// will reap and finish if they die).
 pub fn run(spool: &Spool, opts: &PoolOptions, shutdown: &AtomicBool) -> RunStats {
     let workers = if opts.workers == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -130,12 +199,20 @@ pub fn run(spool: &Spool, opts: &PoolOptions, shutdown: &AtomicBool) -> RunStats
         spool,
         opts,
         shutdown,
-        locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
-        claim_lock: Mutex::new(()),
+        workers,
+        claim: Mutex::new(ClaimState::default()),
+        prepared: Mutex::new(HashMap::new()),
         inflight: AtomicUsize::new(0),
         snaps: Mutex::new(vec![WorkerSnap::default(); workers]),
         stats: Mutex::new(RunStats::default()),
+        reaper: Mutex::new(Reaper {
+            seen: HashMap::new(),
+            host_beats: HashMap::new(),
+            last_tick: None,
+            beat: 0,
+        }),
     };
+    spool.write_host_heartbeat(workers, 0);
     write_workers(&shared);
     std::thread::scope(|scope| {
         for w in 0..workers {
@@ -150,72 +227,115 @@ pub fn run(spool: &Spool, opts: &PoolOptions, shutdown: &AtomicBool) -> RunStats
 }
 
 fn worker_loop(shared: &Shared<'_>, w: usize) {
-    let mut idle_since = std::time::Instant::now();
+    let mut idle_since = Instant::now();
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        if let Some(task) = next_task(shared, w) {
-            let start = std::time::Instant::now();
+        // Per-seed entries first: they are ready-to-run work (possibly
+        // another host's), while a queue claim costs a compile.
+        if let Some(entry) = claim_seed_task(shared) {
+            let start = Instant::now();
             oblx_telemetry::record_worker_time(w, 0, (start - idle_since).as_nanos() as u64);
-            run_task(shared, w, task);
+            run_seed_entry(shared, w, entry);
             oblx_telemetry::record_worker_task(w);
-            idle_since = std::time::Instant::now();
+            idle_since = Instant::now();
             oblx_telemetry::record_worker_time(w, (idle_since - start).as_nanos() as u64, 0);
             continue;
         }
-        // Nothing to steal: try to claim and shard a fresh job. The
-        // lock also makes the drain-exit test atomic with sharding —
-        // no task can appear between "queue empty" and "no inflight".
-        {
-            let _guard = shared.claim_lock.lock().unwrap();
-            if let Some(job) = shared.spool.claim_next() {
-                claim_and_shard(shared, w, job);
-                continue;
+        let mut pause = Duration::from_millis(5);
+        let claimed = {
+            let mut claim = shared.claim.lock().unwrap();
+            let job = shared.spool.claim_next_from(&mut claim.jobs);
+            if job.is_none() {
+                pause = pause.max(claim.jobs.backoff());
             }
-            // Anything left in queue/ that didn't claim is undecodable:
-            // quarantine it so it stops haunting every scan, and leave
-            // an operator-visible trace instead of the old silent skip.
-            let corrupt = shared.spool.quarantine_corrupt();
-            if !corrupt.is_empty() {
-                for id in &corrupt {
-                    EventLog::open(shared.spool, id).emit("job_corrupt", &[]);
-                    oblx_telemetry::incr(oblx_telemetry::Counter::JobCorrupt);
-                }
-                shared.stats.lock().unwrap().jobs_corrupt += corrupt.len();
-            }
-            if shared.opts.drain && shared.inflight.load(Ordering::SeqCst) == 0 {
-                return;
-            }
+            job
+        };
+        if let Some(job) = claimed {
+            claim_and_shard(shared, job);
+            continue;
         }
-        std::thread::sleep(Duration::from_millis(5));
+        // Anything left in queue/ that didn't claim is undecodable:
+        // quarantine it so it stops haunting every scan, and leave an
+        // operator-visible trace instead of the old silent skip.
+        let corrupt = shared.spool.quarantine_corrupt();
+        if !corrupt.is_empty() {
+            for id in &corrupt {
+                EventLog::open(shared.spool, id).emit("job_corrupt", &[]);
+                oblx_telemetry::incr(oblx_telemetry::Counter::JobCorrupt);
+            }
+            shared.stats.lock().unwrap().jobs_corrupt += corrupt.len();
+        }
+        reap(shared);
+        if shared.opts.drain && drained(shared) {
+            return;
+        }
+        std::thread::sleep(pause);
     }
 }
 
-fn next_task(shared: &Shared<'_>, w: usize) -> Option<Task> {
-    if let Some(task) = shared.locals[w].lock().unwrap().pop_back() {
-        return Some(task);
-    }
-    for i in 0..shared.locals.len() {
-        if i == w {
-            continue;
+/// Claims one open seed entry, preferring the shared cached scan.
+/// Rename losers advance to the next cached candidate in O(1); the
+/// scan is refreshed only when the cache runs dry.
+fn claim_seed_task(shared: &Shared<'_>) -> Option<SeedEntry> {
+    let mut claim = shared.claim.lock().unwrap();
+    for _ in 0..2 {
+        if claim.seeds.is_empty() {
+            claim.seeds = shared.spool.open_seed_entries().into();
         }
-        if let Some(task) = shared.locals[i].lock().unwrap().pop_front() {
-            return Some(task);
+        while let Some(entry) = claim.seeds.pop_front() {
+            if shared.spool.claim_seed(&entry) {
+                shared.inflight.fetch_add(1, Ordering::SeqCst);
+                return Some(entry);
+            }
+            // A peer won the rename; the next candidate is O(1) away.
         }
     }
     None
 }
 
-fn claim_and_shard(shared: &Shared<'_>, w: usize, job: JobFile) {
+/// Whether the whole spool is quiescent. Scanned twice so a rename
+/// straddling one scan (queue→running, open→run) cannot slip through;
+/// the claim lock freezes local claimers meanwhile.
+fn drained(shared: &Shared<'_>) -> bool {
+    if shared.inflight.load(Ordering::SeqCst) != 0 {
+        return false;
+    }
+    let _guard = shared.claim.lock().unwrap();
+    (0..2).all(|_| {
+        shared.spool.pending().is_empty()
+            && shared.spool.running().is_empty()
+            && shared.spool.open_seed_entries().is_empty()
+            && shared.spool.running_seed_entries().is_empty()
+            && parked_unfinalized(shared.spool).is_empty()
+    })
+}
+
+/// Parked job specs with no terminal record — a crashed finalizer the
+/// reaper must finish before the spool counts as drained.
+fn parked_unfinalized(spool: &Spool) -> Vec<String> {
+    spool
+        .parked_job_ids()
+        .into_iter()
+        .filter(|id| spool.done(id).is_none() && spool.cancelled(id).is_none())
+        .collect()
+}
+
+fn claim_and_shard(shared: &Shared<'_>, job: JobFile) {
+    let spool = shared.spool;
     // A tombstone that raced the claim: retire the job before wasting
     // a compile on it.
-    if shared.spool.cancel_requested(&job.id) {
-        let _ = shared.spool.complete_cancelled(&job.id, &job.request.name);
-        shared.stats.lock().unwrap().jobs_cancelled += 1;
+    if spool.cancel_requested(&job.id) {
+        if spool
+            .try_retire_cancelled(&job.id, &job.request.name)
+            .unwrap_or(false)
+        {
+            shared.stats.lock().unwrap().jobs_cancelled += 1;
+        }
         return;
     }
-    let log = EventLog::open(shared.spool, &job.id);
+    let log = EventLog::open(spool, &job.id);
     let compiled = match compile_job(&job.request) {
         Ok(c) => c,
         Err(e) => {
@@ -228,97 +348,176 @@ fn claim_and_shard(shared: &Shared<'_>, w: usize, job: JobFile) {
                 .field("status", "failed")
                 .field("error", e.as_str())
                 .build();
-            let _ = shared.spool.complete(&job.id, &record);
+            let _ = spool.complete(&job.id, &record);
             shared.stats.lock().unwrap().jobs_failed += 1;
             return;
         }
     };
-    let ckdir = shared.spool.ckpt_dir(&job.id);
+    let ckdir = spool.ckpt_dir(&job.id);
     let _ = std::fs::create_dir_all(&ckdir);
-    let seeds = job.request.seeds.clone();
-    let mut records: Vec<Option<SeedRecord>> = vec![None; seeds.len()];
-    let mut todo = Vec::new();
-    for (i, &seed) in seeds.iter().enumerate() {
-        match read_seed_done(&ckdir, seed) {
-            Some(rec) => records[i] = Some(rec),
-            None => todo.push(i),
-        }
-    }
+    let replayed = job
+        .request
+        .seeds
+        .iter()
+        .filter(|&&s| seed_done_path(&ckdir, s).exists())
+        .count();
+    let _ = spool.shard_job(&job);
     log.emit(
         "started",
         &[
-            ("seeds", seeds.len().into()),
-            ("replayed", (seeds.len() - todo.len()).into()),
+            ("seeds", job.request.seeds.len().into()),
+            ("replayed", replayed.into()),
         ],
     );
-    let running = Arc::new(RunningJob {
+    let prep = Arc::new(PreparedJob {
         file: job,
         compiled,
-        log,
-        remaining: AtomicUsize::new(todo.len()),
-        records: Mutex::new(records),
     });
-    if todo.is_empty() {
-        finalize(shared, &running);
-        return;
-    }
-    shared.inflight.fetch_add(todo.len(), Ordering::SeqCst);
-    let mut local = shared.locals[w].lock().unwrap();
-    for i in todo {
-        local.push_back((Arc::clone(&running), i));
-    }
+    shared
+        .prepared
+        .lock()
+        .unwrap()
+        .insert(prep.file.id.clone(), Some(Arc::clone(&prep)));
+    // Every seed may already carry a done record (a crash between the
+    // last seed and finalize, then a requeue): finalize right away.
+    maybe_finalize(shared, &prep.file);
 }
 
-fn run_task(shared: &Shared<'_>, w: usize, (job, index): Task) {
-    let seed = job.file.request.seeds[index];
+/// The compile cache: a host compiles each job at most once, whoever
+/// sharded it. `None` is a remembered compile failure.
+fn prepared_job(shared: &Shared<'_>, id: &str) -> Option<Arc<PreparedJob>> {
+    if let Some(cached) = shared.prepared.lock().unwrap().get(id) {
+        return cached.clone();
+    }
+    let file = shared.spool.read_running_job(id)?;
+    // Compile deterministically fails everywhere or nowhere, and a
+    // sharded job compiled on its sharding host — a failure here means
+    // the spec changed under us, which cannot happen; remember it
+    // defensively anyway.
+    let prep = compile_job(&file.request)
+        .ok()
+        .map(|compiled| Arc::new(PreparedJob { file, compiled }));
+    shared
+        .prepared
+        .lock()
+        .unwrap()
+        .entry(id.to_string())
+        .or_insert_with(|| prep.clone());
+    prep
+}
+
+fn run_seed_entry(shared: &Shared<'_>, w: usize, entry: SeedEntry) {
+    let spool = shared.spool;
+    let seed = entry.seed;
+    let Some(prep) = prepared_job(shared, &entry.job) else {
+        // Job spec gone (terminal under us) or uncompilable: drop the
+        // claim so the entry cannot wedge drain.
+        spool.finish_seed(&entry);
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        return;
+    };
+    let log = EventLog::open(spool, &entry.job);
+    if let Some(lease) = spool.read_lease(&LeaseName::job(&entry.job)) {
+        if lease.owner != spool.host() {
+            oblx_telemetry::incr(oblx_telemetry::Counter::SeedStolen);
+            shared.stats.lock().unwrap().seeds_stolen += 1;
+            log.emit(
+                "seed_stolen",
+                &[
+                    ("seed", jobs::u64_to_value(seed)),
+                    ("from", lease.owner.as_str().into()),
+                ],
+            );
+        }
+    }
+    if spool.cancel_requested(&entry.job) {
+        log.emit("seed_cancelled", &[("seed", jobs::u64_to_value(seed))]);
+        spool.finish_seed(&entry);
+        retire_if_cancelled(shared, &prep.file);
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        return;
+    }
     set_snap(shared, w, |s| {
         s.busy = true;
-        s.job = Some(job.file.id.clone());
+        s.job = Some(entry.job.clone());
         s.seed = Some(seed);
     });
-    job.log
-        .emit("seed_started", &[("seed", jobs::u64_to_value(seed))]);
+    log.emit(
+        "seed_started",
+        &[
+            ("seed", jobs::u64_to_value(seed)),
+            ("fence", jobs::u64_to_value(entry.fence)),
+        ],
+    );
     let run_opts = SynthesisOptions {
         seed,
-        ..job.file.request.options.clone()
+        ..prep.file.request.options.clone()
     };
-    let ckdir = shared.spool.ckpt_dir(&job.file.id);
+    let ckdir = spool.ckpt_dir(&entry.job);
+    let _ = std::fs::create_dir_all(&ckdir);
+    let mut portfolio = PortfolioCtl::default();
     // A panicking seed (a bug, or pathological numerics) must not
     // unwind through `std::thread::scope` and take the whole daemon —
     // and every sibling seed — down with it. Catch it and record the
     // seed as failed; determinism is untouched since the seed produced
     // no result either way.
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        jobs::run_seed_resumable(
-            &job.compiled,
-            &run_opts,
-            &ckdir,
-            shared.opts.checkpoint_every,
-            |ck| {
-                job.log.emit(
-                    "checkpoint",
-                    &[
-                        ("seed", jobs::u64_to_value(seed)),
-                        ("attempted", ck.engine.attempted.into()),
-                        ("cost", ck.engine.cost.into()),
-                        ("best_cost", ck.engine.best_cost.into()),
-                    ],
-                );
-                if shared.shutdown.load(Ordering::SeqCst)
-                    || shared.spool.cancel_requested(&job.file.id)
-                {
-                    Directive::Stop
-                } else {
+    let (attempt, cause) = loop {
+        let mut cause = StopCause::Ran;
+        let mut peer: Option<PeerBest> = None;
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            jobs::run_seed_resumable_fenced(
+                &prep.compiled,
+                &run_opts,
+                &ckdir,
+                shared.opts.checkpoint_every,
+                entry.fence,
+                |ck| {
+                    log.emit(
+                        "checkpoint",
+                        &[
+                            ("seed", jobs::u64_to_value(seed)),
+                            ("attempted", ck.engine.attempted.into()),
+                            ("cost", ck.engine.cost.into()),
+                            ("best_cost", ck.engine.best_cost.into()),
+                        ],
+                    );
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        cause = StopCause::Shutdown;
+                        return Directive::Stop;
+                    }
+                    if spool.cancel_requested(&entry.job) {
+                        cause = StopCause::Cancelled;
+                        return Directive::Stop;
+                    }
+                    if !spool.refresh_lease(&LeaseName::seed(&entry.job, seed), entry.fence) {
+                        cause = StopCause::LeaseLost;
+                        return Directive::Stop;
+                    }
+                    if shared.opts.portfolio {
+                        publish_portfolio(spool, &entry.job, ck);
+                        if let Some(p) = portfolio.better_peer(spool, &entry.job, ck) {
+                            peer = Some(p);
+                            cause = StopCause::Adapt;
+                            return Directive::Stop;
+                        }
+                    }
                     Directive::Continue
+                },
+            )
+        }));
+        match attempt {
+            Ok(Ok(SynthesisOutcome::Interrupted(ck))) if cause == StopCause::Adapt => {
+                if let Some(p) = peer.take() {
+                    apply_adaptation(&log, &entry, &ckdir, *ck, &p);
                 }
-            },
-        )
-    }));
-    let mut cancelled = false;
-    let record = match outcome {
+            }
+            other => break (other, cause),
+        }
+    };
+    let record = match attempt {
         Err(payload) => {
             let msg = panic_message(payload.as_ref());
-            job.log.emit(
+            log.emit(
                 "seed_panic",
                 &[
                     ("seed", jobs::u64_to_value(seed)),
@@ -330,7 +529,7 @@ fn run_task(shared: &Shared<'_>, w: usize, (job, index): Task) {
             Some(failed_seed_record(seed))
         }
         Ok(Ok(SynthesisOutcome::Complete(result))) => {
-            let fc = fixed_cost(&job.compiled, &result.state);
+            let fc = fixed_cost(&prep.compiled, &result.state);
             Some(SeedRecord {
                 seed,
                 fixed_cost: fc,
@@ -344,25 +543,33 @@ fn run_task(shared: &Shared<'_>, w: usize, (job, index): Task) {
             })
         }
         Ok(Ok(SynthesisOutcome::Interrupted(_))) => {
-            if shared.spool.cancel_requested(&job.file.id) {
-                // Cancelled mid-run: the seed is abandoned for good.
-                // A sentinel record keeps the remaining-count honest so
-                // the last stopped seed finalizes the job (into
-                // `cancelled/`, see `finalize`).
-                job.log
-                    .emit("seed_cancelled", &[("seed", jobs::u64_to_value(seed))]);
-                cancelled = true;
-                Some(failed_seed_record(seed))
-            } else {
-                // Shutdown mid-run: the checkpoint file stays behind
-                // and the job stays in running/ for the next recover().
-                job.log
-                    .emit("interrupted", &[("seed", jobs::u64_to_value(seed))]);
-                None
+            match cause {
+                StopCause::Cancelled => {
+                    // Cancelled mid-run: abandoned for good, no done
+                    // record — the job retires into `cancelled/` once
+                    // its last live seed stops.
+                    log.emit("seed_cancelled", &[("seed", jobs::u64_to_value(seed))]);
+                    spool.finish_seed(&entry);
+                    retire_if_cancelled(shared, &prep.file);
+                }
+                StopCause::LeaseLost => {
+                    // Fenced out: a reaper re-opened this entry and it
+                    // belongs to someone else now. Touch nothing.
+                    log.emit("seed_lost", &[("seed", jobs::u64_to_value(seed))]);
+                }
+                _ => {
+                    // Shutdown: the checkpoint stays behind; re-open
+                    // the entry (bumped fence) so live peers can pick
+                    // it up immediately instead of waiting out the
+                    // lease timeout.
+                    log.emit("interrupted", &[("seed", jobs::u64_to_value(seed))]);
+                    spool.reopen_seed(&entry);
+                }
             }
+            None
         }
         Ok(Err(e)) => {
-            job.log.emit(
+            log.emit(
                 "seed_failed",
                 &[
                     ("seed", jobs::u64_to_value(seed)),
@@ -373,28 +580,20 @@ fn run_task(shared: &Shared<'_>, w: usize, (job, index): Task) {
         }
     };
     if let Some(record) = record {
-        // A cancelled seed produced no result: it only counts down the
-        // job, leaving neither a seed-done file nor a `seed_done` event
-        // suggesting it ran to completion.
-        if !cancelled {
-            let _ =
-                jobs::write_atomic(&seed_done_path(&ckdir, seed), &seed_record_to_json(&record));
-            let _ = std::fs::remove_file(jobs::checkpoint_path(&ckdir, seed));
-            job.log.emit(
-                "seed_done",
-                &[
-                    ("seed", jobs::u64_to_value(seed)),
-                    ("fixed_cost", record.fixed_cost.into()),
-                    ("evaluations", record.evaluations.into()),
-                    ("failed", record.failed.into()),
-                ],
-            );
-            shared.stats.lock().unwrap().seeds_run += 1;
-        }
-        job.records.lock().unwrap()[index] = Some(record);
-        if job.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
-            finalize(shared, &job);
-        }
+        let _ = jobs::write_atomic(&seed_done_path(&ckdir, seed), &seed_record_to_json(&record));
+        jobs::remove_checkpoints(&ckdir, seed);
+        log.emit(
+            "seed_done",
+            &[
+                ("seed", jobs::u64_to_value(seed)),
+                ("fixed_cost", record.fixed_cost.into()),
+                ("evaluations", record.evaluations.into()),
+                ("failed", record.failed.into()),
+            ],
+        );
+        shared.stats.lock().unwrap().seeds_run += 1;
+        spool.finish_seed(&entry);
+        maybe_finalize(shared, &prep.file);
     }
     shared.inflight.fetch_sub(1, Ordering::SeqCst);
     set_snap(shared, w, |s| {
@@ -405,26 +604,63 @@ fn run_task(shared: &Shared<'_>, w: usize, (job, index): Task) {
     });
 }
 
-/// Aggregates the per-seed records into the job's result file —
-/// exactly [`astrx_oblx::oblx::synthesize_multi`]'s winner rule: lowest
-/// frozen-final cost, NaN last, ties to the earlier seed in the list.
-fn finalize(shared: &Shared<'_>, job: &RunningJob) {
-    // A tombstone trumps any partial results: the job retires into
-    // `cancelled/`, not `done/` (the `job_cancelled` event and the
-    // telemetry counter are emitted by `complete_cancelled`).
-    if shared.spool.cancel_requested(&job.file.id) {
-        let _ = shared
-            .spool
-            .complete_cancelled(&job.file.id, &job.file.request.name);
-        crate::events::append_metrics(shared.spool);
-        let _ = std::fs::remove_dir_all(shared.spool.ckpt_dir(&job.file.id));
-        shared.stats.lock().unwrap().jobs_cancelled += 1;
+/// Retires a tombstoned job once no live seed entry (any host's)
+/// remains; the retirement itself is arbitrated cluster-wide by
+/// [`Spool::try_retire_cancelled`].
+fn retire_if_cancelled(shared: &Shared<'_>, file: &JobFile) {
+    let spool = shared.spool;
+    if !spool.cancel_requested(&file.id) || spool.has_live_seed_entries(&file.id) {
         return;
     }
-    let records = job.records.lock().unwrap();
+    if spool
+        .try_retire_cancelled(&file.id, &file.request.name)
+        .unwrap_or(false)
+    {
+        shared.prepared.lock().unwrap().remove(&file.id);
+        shared.stats.lock().unwrap().jobs_cancelled += 1;
+        crate::events::append_metrics(spool);
+    }
+}
+
+/// Finalizes the job once every seed carries a done record; the
+/// arbitration rename ([`Spool::claim_finalize`]) picks one winner
+/// across all hosts.
+fn maybe_finalize(shared: &Shared<'_>, file: &JobFile) {
+    let spool = shared.spool;
+    if spool.cancel_requested(&file.id) {
+        retire_if_cancelled(shared, file);
+        return;
+    }
+    let ckdir = spool.ckpt_dir(&file.id);
+    if !file
+        .request
+        .seeds
+        .iter()
+        .all(|&s| seed_done_path(&ckdir, s).exists())
+    {
+        return;
+    }
+    if !spool.claim_finalize(&file.id) {
+        return;
+    }
+    finalize_from(shared, file);
+}
+
+/// Aggregates the per-seed done records into the job's result file —
+/// exactly [`astrx_oblx::oblx::synthesize_multi`]'s winner rule: lowest
+/// frozen-final cost, NaN last, ties to the earlier seed in the list.
+/// The caller must hold the finalize claim (the parked job spec).
+fn finalize_from(shared: &Shared<'_>, file: &JobFile) {
+    let spool = shared.spool;
+    let ckdir = spool.ckpt_dir(&file.id);
+    let records: Vec<SeedRecord> = file
+        .request
+        .seeds
+        .iter()
+        .filter_map(|&s| read_seed_done(&ckdir, s))
+        .collect();
     let mut best: Option<(f64, usize)> = None;
     for (i, rec) in records.iter().enumerate() {
-        let Some(rec) = rec else { continue };
         if rec.failed {
             continue;
         }
@@ -439,7 +675,6 @@ fn finalize(shared: &Shared<'_>, job: &RunningJob) {
     }
     let runs: Vec<Value> = records
         .iter()
-        .flatten()
         .map(|r| {
             ObjBuilder::new()
                 .field("seed", jobs::u64_to_value(r.seed))
@@ -454,12 +689,12 @@ fn finalize(shared: &Shared<'_>, job: &RunningJob) {
     let mut record = ObjBuilder::new()
         .field("format", "oblx-result")
         .field("version", 1i64)
-        .field("id", job.file.id.as_str())
-        .field("name", job.file.request.name.as_str());
+        .field("id", file.id.as_str())
+        .field("name", file.request.name.as_str());
     let status;
     match best {
         Some((_, i)) => {
-            let r = records[i].as_ref().expect("winner exists");
+            let r = &records[i];
             status = "ok";
             record = record
                 .field("status", status)
@@ -501,10 +736,14 @@ fn finalize(shared: &Shared<'_>, job: &RunningJob) {
         }
     }
     let record = record.field("runs", Value::Arr(runs)).build();
-    let _ = shared.spool.complete(&job.file.id, &record);
-    job.log.emit("done", &[("status", status.into())]);
-    crate::events::append_metrics(shared.spool);
-    let _ = std::fs::remove_dir_all(shared.spool.ckpt_dir(&job.file.id));
+    let _ = spool.complete(&file.id, &record);
+    EventLog::open(spool, &file.id).emit("done", &[("status", status.into())]);
+    crate::events::append_metrics(spool);
+    let _ = std::fs::remove_dir_all(&ckdir);
+    spool.remove_seed_entries(&file.id);
+    spool.release_lease(&LeaseName::job(&file.id));
+    let _ = std::fs::remove_dir_all(spool.job_portfolio_dir(&file.id));
+    shared.prepared.lock().unwrap().remove(&file.id);
     let mut stats = shared.stats.lock().unwrap();
     if status == "ok" {
         stats.jobs_completed += 1;
@@ -512,6 +751,359 @@ fn finalize(shared: &Shared<'_>, job: &RunningJob) {
         stats.jobs_failed += 1;
     }
 }
+
+/// The reaper tick: beats this host's heartbeat, watches every lease
+/// (and lease-less run entry, and peer heartbeat) for progress, and
+/// re-opens work whose holder died. Also finishes the two multi-step
+/// transitions a crash can orphan: incomplete shards of adopted jobs,
+/// and parked-but-unfinalized job specs.
+fn reap(shared: &Shared<'_>) {
+    let Ok(mut reaper) = shared.reaper.try_lock() else {
+        return;
+    };
+    let now = Instant::now();
+    let timeout = shared.opts.lease_timeout;
+    let tick = (timeout / 4).clamp(Duration::from_millis(100), Duration::from_secs(5));
+    if reaper
+        .last_tick
+        .is_some_and(|t| now.duration_since(t) < tick)
+    {
+        return;
+    }
+    reaper.last_tick = Some(now);
+    reaper.beat += 1;
+    shared
+        .spool
+        .write_host_heartbeat(shared.workers, reaper.beat);
+
+    // Host liveness: a host whose heartbeat advanced within the timeout
+    // is alive; one never seen (no heartbeat file) is unknown → dead.
+    let mut host_live: HashMap<String, bool> = HashMap::new();
+    for info in shared.spool.hosts() {
+        let fresh = match reaper.host_beats.get(&info.host) {
+            Some((beat, since)) if *beat == info.beat => now.duration_since(*since) < timeout,
+            _ => true,
+        };
+        if reaper.host_beats.get(&info.host).map(|(b, _)| *b) != Some(info.beat) {
+            reaper
+                .host_beats
+                .insert(info.host.clone(), (info.beat, now));
+        }
+        host_live.insert(info.host.clone(), fresh);
+    }
+
+    let run_entries = shared.spool.running_seed_entries();
+    let mut current: HashMap<String, (String, u64, u64)> = HashMap::new();
+    for (name, lease) in shared.spool.leases() {
+        current.insert(name.stem(), (lease.owner, lease.beat, lease.fence));
+    }
+    for e in &run_entries {
+        // A run entry with no lease yet: a claim in progress — or a
+        // claimer that died between the rename and the lease write.
+        // The empty owner is never "live", so the timeout decides.
+        current
+            .entry(LeaseName::seed(&e.job, e.seed).stem())
+            .or_insert_with(|| (String::new(), 0, e.fence));
+    }
+    reaper.seen.retain(|k, _| current.contains_key(k));
+    let mut expired: Vec<String> = Vec::new();
+    for (stem, (owner, beat, fence)) in &current {
+        match reaper.seen.get(stem) {
+            Some(obs) if obs.owner == *owner && obs.beat == *beat && obs.fence == *fence => {
+                let live =
+                    *owner == shared.spool.host() || host_live.get(owner).copied().unwrap_or(false);
+                if !live && now.duration_since(obs.since) >= timeout {
+                    expired.push(stem.clone());
+                }
+            }
+            _ => {
+                reaper.seen.insert(
+                    stem.clone(),
+                    Observation {
+                        owner: owner.clone(),
+                        beat: *beat,
+                        fence: *fence,
+                        since: now,
+                    },
+                );
+            }
+        }
+    }
+    let by_key: HashMap<(&str, u64), &SeedEntry> = run_entries
+        .iter()
+        .map(|e| ((e.job.as_str(), e.seed), e))
+        .collect();
+    for stem in expired {
+        let Some(name) = LeaseName::parse(&stem) else {
+            continue;
+        };
+        match &name {
+            LeaseName::Seed(job, seed) => {
+                if let Some(e) = by_key.get(&(job.as_str(), *seed)) {
+                    if shared.spool.reopen_seed(e) {
+                        EventLog::open(shared.spool, job).emit(
+                            "seed_reaped",
+                            &[
+                                ("seed", jobs::u64_to_value(*seed)),
+                                ("fence", jobs::u64_to_value(e.fence + 1)),
+                            ],
+                        );
+                    }
+                } else {
+                    // A lease with no entry behind it: stale leftover.
+                    shared.spool.release_lease(&name);
+                }
+            }
+            LeaseName::Job(id) => {
+                // The shard-owner died. Adopt the job: take the lease,
+                // repair the shard (idempotent — a crash mid-`shard_job`
+                // leaves some seeds unsharded), and finalize if it was
+                // actually complete.
+                if let Some(job) = shared.spool.read_running_job(id) {
+                    let _ = shared.spool.write_lease(&name, 1, 1);
+                    let _ = shared.spool.shard_job(&job);
+                    EventLog::open(shared.spool, id).emit("job_adopted", &[]);
+                    maybe_finalize(shared, &job);
+                } else {
+                    shared.spool.release_lease(&name);
+                }
+            }
+        }
+        reaper.seen.remove(&stem);
+        oblx_telemetry::incr(oblx_telemetry::Counter::LeaseReaped);
+        shared.stats.lock().unwrap().leases_reaped += 1;
+    }
+
+    // Orphaned finalizes: a parked job spec whose finalizer died. With
+    // a terminal record present only the cleanup is missing; without
+    // one, redo the aggregation (byte-identical from the same done
+    // records, so a concurrent peer redoing it too is harmless).
+    for id in shared.spool.parked_job_ids() {
+        let done = shared.spool.done(&id).is_some();
+        if done || shared.spool.cancelled(&id).is_some() {
+            let _ = std::fs::remove_dir_all(shared.spool.ckpt_dir(&id));
+            shared.spool.remove_seed_entries(&id);
+            shared.spool.release_lease(&LeaseName::job(&id));
+            let _ = std::fs::remove_dir_all(shared.spool.job_portfolio_dir(&id));
+            continue;
+        }
+        let Some(file) = shared.spool.read_parked_job(&id) else {
+            continue;
+        };
+        if shared.spool.cancel_requested(&id) {
+            if shared
+                .spool
+                .complete_cancelled(&id, &file.request.name)
+                .is_ok()
+            {
+                let _ = std::fs::remove_dir_all(shared.spool.ckpt_dir(&id));
+                shared.stats.lock().unwrap().jobs_cancelled += 1;
+            }
+            continue;
+        }
+        let ckdir = shared.spool.ckpt_dir(&id);
+        if file
+            .request
+            .seeds
+            .iter()
+            .all(|&s| seed_done_path(&ckdir, s).exists())
+        {
+            finalize_from(shared, &file);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Portfolio mode.
+
+/// A peer's published best-so-far, as an adaptation target.
+struct PeerBest {
+    host: String,
+    cost: f64,
+    p: Vec<f64>,
+    scale: Vec<f64>,
+}
+
+/// Paces the portfolio exchange: peers are consulted every few
+/// checkpoints, and an adaptation is followed by a cooldown so a seed
+/// settles into the blended statistics before looking again.
+#[derive(Default)]
+struct PortfolioCtl {
+    calls: u64,
+    cooldown_until: u64,
+}
+
+impl PortfolioCtl {
+    fn better_peer(
+        &mut self,
+        spool: &Spool,
+        id: &str,
+        ck: &SynthesisCheckpoint,
+    ) -> Option<PeerBest> {
+        self.calls += 1;
+        if self.calls < self.cooldown_until || !self.calls.is_multiple_of(4) {
+            return None;
+        }
+        let own = ck.engine.best_cost;
+        if !own.is_finite() {
+            return None;
+        }
+        let me = portfolio_record_name(spool.host(), ck.seed);
+        let best = read_portfolio(spool, id)
+            .into_iter()
+            .filter(|(name, _)| *name != me)
+            .map(|(_, p)| p)
+            .filter(|p| p.cost.is_finite())
+            .min_by(|a, b| a.cost.total_cmp(&b.cost))?;
+        // Only adapt toward a *clearly* better peer: 5% relative.
+        if best.cost < own - 0.05 * own.abs() {
+            self.cooldown_until = self.calls + 8;
+            Some(best)
+        } else {
+            None
+        }
+    }
+}
+
+fn portfolio_record_name(host: &str, seed: u64) -> String {
+    format!("{host}.s{seed}.json")
+}
+
+/// Publishes this seed's best-so-far cost and move statistics to the
+/// job's exchange directory.
+fn publish_portfolio(spool: &Spool, id: &str, ck: &SynthesisCheckpoint) {
+    let dir = spool.job_portfolio_dir(id);
+    let _ = std::fs::create_dir_all(&dir);
+    let classes = &ck.engine.stats.classes;
+    let doc = ObjBuilder::new()
+        .field("format", "oblx-portfolio")
+        .field("version", 1i64)
+        .field("host", spool.host())
+        .field("seed", jobs::u64_to_value(ck.seed))
+        .field("best_cost", jobs::f64_to_value(ck.engine.best_cost))
+        .field("attempted", ck.engine.attempted)
+        .field(
+            "p",
+            Value::Arr(
+                classes
+                    .iter()
+                    .map(|c| jobs::f64_to_value(c.probability))
+                    .collect(),
+            ),
+        )
+        .field(
+            "scale",
+            Value::Arr(
+                classes
+                    .iter()
+                    .map(|c| jobs::f64_to_value(c.scale))
+                    .collect(),
+            ),
+        )
+        .build();
+    let path = dir.join(portfolio_record_name(spool.host(), ck.seed));
+    if jobs::write_atomic(&path, &doc.to_json()).is_ok() {
+        oblx_telemetry::incr(oblx_telemetry::Counter::PortfolioPublished);
+    }
+}
+
+/// Every parseable record in the job's exchange directory.
+fn read_portfolio(spool: &Spool, id: &str) -> Vec<(String, PeerBest)> {
+    let Ok(entries) = std::fs::read_dir(spool.job_portfolio_dir(id)) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Ok(text) = std::fs::read_to_string(entry.path()) else {
+            continue;
+        };
+        let Ok(v) = astrx_oblx::json::parse(&text) else {
+            continue;
+        };
+        if v.get("format").and_then(Value::as_str) != Some("oblx-portfolio") {
+            continue;
+        }
+        let bits_arr = |key: &str| -> Option<Vec<f64>> {
+            v.get(key)?
+                .as_arr()?
+                .iter()
+                .map(|x| jobs::f64_from_value(x).ok())
+                .collect()
+        };
+        let Some(host) = v.get("host").and_then(Value::as_str) else {
+            continue;
+        };
+        let Some(cost) = v
+            .get("best_cost")
+            .and_then(|c| jobs::f64_from_value(c).ok())
+        else {
+            continue;
+        };
+        let (Some(p), Some(scale)) = (bits_arr("p"), bits_arr("scale")) else {
+            continue;
+        };
+        out.push((
+            name,
+            PeerBest {
+                host: host.to_string(),
+                cost,
+                p,
+                scale,
+            },
+        ));
+    }
+    out
+}
+
+/// Blends this seed's move-class statistics toward a better peer's and
+/// writes the mutated checkpoint back; the run then resumes from it.
+fn apply_adaptation(
+    log: &EventLog,
+    entry: &SeedEntry,
+    ckdir: &Path,
+    mut ck: SynthesisCheckpoint,
+    peer: &PeerBest,
+) {
+    let stats = &mut ck.engine.stats;
+    if peer.p.len() != stats.classes.len() {
+        return;
+    }
+    for (i, c) in stats.classes.iter_mut().enumerate() {
+        c.probability = 0.5 * c.probability + 0.5 * peer.p[i];
+        if let Some(&s) = peer.scale.get(i) {
+            c.scale = (0.5 * c.scale + 0.5 * s).clamp(1e-6, 1.0);
+        }
+    }
+    // Re-normalize with the selector's own probability floor, the same
+    // invariants its rebalance maintains.
+    let floor = stats.p_min;
+    let sum: f64 = stats.classes.iter().map(|c| c.probability).sum();
+    if sum > 0.0 {
+        for c in &mut stats.classes {
+            c.probability = (c.probability / sum).max(floor);
+        }
+        let sum2: f64 = stats.classes.iter().map(|c| c.probability).sum();
+        for c in &mut stats.classes {
+            c.probability /= sum2;
+        }
+    }
+    let path = jobs::fenced_checkpoint_path(ckdir, entry.seed, entry.fence);
+    if jobs::write_atomic(&path, &jobs::checkpoint_to_json(&ck)).is_ok() {
+        oblx_telemetry::incr(oblx_telemetry::Counter::PortfolioAdapted);
+        log.emit(
+            "portfolio_adapt",
+            &[
+                ("seed", jobs::u64_to_value(entry.seed)),
+                ("peer", peer.host.as_str().into()),
+                ("peer_cost", jobs::f64_to_value(peer.cost)),
+            ],
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Plumbing shared with the old single-host pool.
 
 /// The failed-seed sentinel record: infinite fixed cost keeps it out of
 /// winner selection; the empty state marks it as result-free.
@@ -570,7 +1162,10 @@ fn write_workers(shared: &Shared<'_>) {
             b.build()
         })
         .collect();
-    let doc = ObjBuilder::new().field("workers", Value::Arr(rows)).build();
+    let doc = ObjBuilder::new()
+        .field("host", shared.spool.host())
+        .field("workers", Value::Arr(rows))
+        .build();
     let _ = jobs::write_atomic(&shared.spool.workers_path(), &doc.to_json());
 }
 
@@ -676,19 +1271,20 @@ mod tests {
         }
     }
 
+    fn drain_opts(workers: usize) -> PoolOptions {
+        PoolOptions {
+            workers,
+            checkpoint_every: 100,
+            drain: true,
+            ..PoolOptions::default()
+        }
+    }
+
     #[test]
     fn drains_queue_and_matches_synthesize_multi() {
         let spool = temp_spool("drain");
         let job = spool.submit(small_job("amp", vec![3, 4])).unwrap();
-        let stats = run(
-            &spool,
-            &PoolOptions {
-                workers: 2,
-                checkpoint_every: 100,
-                drain: true,
-            },
-            &AtomicBool::new(false),
-        );
+        let stats = run(&spool, &drain_opts(2), &AtomicBool::new(false));
         assert_eq!(stats.jobs_completed, 1);
         assert_eq!(stats.seeds_run, 2);
         let record = spool.done(&job.id).unwrap();
@@ -717,15 +1313,7 @@ mod tests {
         let mut req = small_job("broken", vec![1]);
         req.source = "not a netlist at all".into();
         let job = spool.submit(req).unwrap();
-        let stats = run(
-            &spool,
-            &PoolOptions {
-                workers: 1,
-                checkpoint_every: 100,
-                drain: true,
-            },
-            &AtomicBool::new(false),
-        );
+        let stats = run(&spool, &drain_opts(1), &AtomicBool::new(false));
         assert_eq!(stats.jobs_failed, 1);
         let record = spool.done(&job.id).unwrap();
         assert_eq!(record.get("status").unwrap().as_str(), Some("failed"));
@@ -738,15 +1326,7 @@ mod tests {
         let good = spool.submit(small_job("amp", vec![5])).unwrap();
         // A torn write, as left behind by a submitter killed mid-write.
         std::fs::write(spool.queue_dir().join("torn.json"), "{\"format\":\"oblx-j").unwrap();
-        let stats = run(
-            &spool,
-            &PoolOptions {
-                workers: 2,
-                checkpoint_every: 100,
-                drain: true,
-            },
-            &AtomicBool::new(false),
-        );
+        let stats = run(&spool, &drain_opts(2), &AtomicBool::new(false));
         // Pre-fix: the torn file was skipped silently and sat in queue/
         // forever with no trace. Now it is quarantined, counted, and
         // leaves a `job_corrupt` event — and the good job still drains.
@@ -774,15 +1354,7 @@ mod tests {
         // (as `Spool::cancel` leaves behind when it loses the dequeue
         // race): the pool must retire the job without running a seed.
         jobs::write_atomic(&spool.tombstone_path(&job.id), "").unwrap();
-        let stats = run(
-            &spool,
-            &PoolOptions {
-                workers: 1,
-                checkpoint_every: 100,
-                drain: true,
-            },
-            &AtomicBool::new(false),
-        );
+        let stats = run(&spool, &drain_opts(1), &AtomicBool::new(false));
         assert_eq!(stats.jobs_cancelled, 1);
         assert_eq!(stats.seeds_run, 0);
         assert_eq!(stats.jobs_completed, 0);
@@ -810,6 +1382,7 @@ mod tests {
             workers: 2,
             checkpoint_every: 50,
             drain: true,
+            ..PoolOptions::default()
         };
         std::thread::scope(|scope| {
             let spool_ref = &spool;
@@ -836,15 +1409,19 @@ mod tests {
             !spool.ckpt_dir(&job.id).exists(),
             "checkpoints of a cancelled job are reclaimed"
         );
+        assert!(
+            !spool.job_seeds_dir(&job.id).exists(),
+            "seed entries of a cancelled job are reclaimed"
+        );
         std::fs::remove_dir_all(spool.root()).unwrap();
     }
 
     #[test]
     fn interrupted_job_resumes_bit_identically_through_the_pool() {
+        let opts = drain_opts(1);
         let opts = PoolOptions {
-            workers: 1,
             checkpoint_every: 50,
-            drain: true,
+            ..opts
         };
         // Reference: the same job run uninterrupted in a fresh spool.
         let reference = {
@@ -896,6 +1473,104 @@ mod tests {
                 "field `{key}` differs between resumed and uninterrupted runs"
             );
         }
+        std::fs::remove_dir_all(spool.root()).unwrap();
+    }
+
+    #[test]
+    fn stolen_seeds_finish_a_dead_peers_job_bit_identically() {
+        // Reference result, single host.
+        let reference = {
+            let spool = temp_spool("steal-ref");
+            let job = spool.submit(small_job("amp", vec![3, 4])).unwrap();
+            run(&spool, &drain_opts(2), &AtomicBool::new(false));
+            let record = spool.done(&job.id).unwrap();
+            std::fs::remove_dir_all(spool.root()).unwrap();
+            record
+        };
+        // Host `a` claims and shards the job, then "dies" before
+        // running a single seed (its open entries and job lease stay
+        // behind). Host `b` steals every seed and finalizes.
+        let spool_a = temp_spool("steal").with_host("a");
+        let job = spool_a.submit(small_job("amp", vec![3, 4])).unwrap();
+        let claimed = spool_a.claim_next().unwrap();
+        std::fs::create_dir_all(spool_a.ckpt_dir(&claimed.id)).unwrap();
+        assert_eq!(spool_a.shard_job(&claimed).unwrap(), 2);
+
+        let spool_b = Spool::open(spool_a.root()).unwrap().with_host("b");
+        let stats = run(&spool_b, &drain_opts(2), &AtomicBool::new(false));
+        assert_eq!(stats.jobs_completed, 1);
+        assert_eq!(stats.seeds_run, 2);
+        assert_eq!(stats.seeds_stolen, 2, "both seeds came from a's job");
+        let record = spool_b.done(&job.id).unwrap();
+        for key in ["status", "best_seed", "fixed_cost", "best_cost", "state"] {
+            assert_eq!(
+                record.get(key),
+                reference.get(key),
+                "field `{key}` differs between stolen and single-host runs"
+            );
+        }
+        std::fs::remove_dir_all(spool_a.root()).unwrap();
+    }
+
+    #[test]
+    fn reaper_reopens_an_expired_foreign_lease_and_recovers_the_seed() {
+        // Reference result, single host.
+        let reference = {
+            let spool = temp_spool("reap-ref");
+            let job = spool.submit(small_job("amp", vec![9])).unwrap();
+            run(&spool, &drain_opts(1), &AtomicBool::new(false));
+            let record = spool.done(&job.id).unwrap();
+            std::fs::remove_dir_all(spool.root()).unwrap();
+            record
+        };
+        // Host `a` claims the job AND its only seed, then dies without
+        // ever heartbeating again. Host `b` must wait out the lease
+        // timeout, reap, re-open at a higher fence, and finish.
+        let spool_a = temp_spool("reap").with_host("a");
+        let job = spool_a.submit(small_job("amp", vec![9])).unwrap();
+        let claimed = spool_a.claim_next().unwrap();
+        std::fs::create_dir_all(spool_a.ckpt_dir(&claimed.id)).unwrap();
+        spool_a.shard_job(&claimed).unwrap();
+        let entry = spool_a.open_seed_entries().pop().unwrap();
+        assert!(spool_a.claim_seed(&entry));
+        spool_a.write_host_heartbeat(1, 1);
+
+        let spool_b = Spool::open(spool_a.root()).unwrap().with_host("b");
+        let opts = PoolOptions {
+            lease_timeout: Duration::from_millis(300),
+            ..drain_opts(1)
+        };
+        let stats = run(&spool_b, &opts, &AtomicBool::new(false));
+        assert!(stats.leases_reaped >= 1, "a's seed lease was reaped");
+        assert_eq!(stats.jobs_completed, 1);
+        let record = spool_b.done(&job.id).unwrap();
+        for key in ["status", "fixed_cost", "best_cost", "state"] {
+            assert_eq!(
+                record.get(key),
+                reference.get(key),
+                "field `{key}` differs between reaped and healthy runs"
+            );
+        }
+        std::fs::remove_dir_all(spool_a.root()).unwrap();
+    }
+
+    #[test]
+    fn portfolio_mode_publishes_and_still_completes() {
+        let spool = temp_spool("portfolio");
+        let job = spool.submit(small_job("amp", vec![3, 4])).unwrap();
+        let opts = PoolOptions {
+            portfolio: true,
+            checkpoint_every: 50,
+            ..drain_opts(2)
+        };
+        let stats = run(&spool, &opts, &AtomicBool::new(false));
+        assert_eq!(stats.jobs_completed, 1);
+        let record = spool.done(&job.id).unwrap();
+        assert_eq!(record.get("status").unwrap().as_str(), Some("ok"));
+        assert!(
+            !spool.job_portfolio_dir(&job.id).exists(),
+            "exchange records are reclaimed at finalize"
+        );
         std::fs::remove_dir_all(spool.root()).unwrap();
     }
 }

@@ -80,9 +80,19 @@ fn sigkilled_daemon_resumes_to_a_bit_identical_result() {
         .stdout(Stdio::null())
         .spawn()
         .expect("oblxd run spawns");
-    let ckpt = spool.join("ckpt").join(&id).join("seed_5.ckpt.json");
+    // Checkpoints are fence-named (`seed_5.f<fence>.ckpt.json`); wait
+    // for seed 5's to exist under any fence.
+    let ckdir = spool.join("ckpt").join(&id);
+    let ckpt_exists = || {
+        std::fs::read_dir(&ckdir).is_ok_and(|entries| {
+            entries.flatten().any(|e| {
+                let name = e.file_name().to_string_lossy().into_owned();
+                name.starts_with("seed_5.") && name.ends_with(".ckpt.json")
+            })
+        })
+    };
     let deadline = Instant::now() + Duration::from_secs(60);
-    while !ckpt.exists() {
+    while !ckpt_exists() {
         assert!(
             Instant::now() < deadline,
             "no checkpoint appeared within 60 s"

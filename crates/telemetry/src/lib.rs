@@ -129,6 +129,21 @@ pub enum Counter {
     HttpAdmissionRejected,
     /// Jobs that reached the `cancelled` terminal state.
     JobCancelled,
+    /// Leases written at claim time (jobs and seeds).
+    LeaseAcquired,
+    /// Leases released after normal completion.
+    LeaseReleased,
+    /// Expired leases reaped by a surviving host.
+    LeaseReaped,
+    /// Lease refreshes that discovered the lease was stolen — the
+    /// holder was fenced out and abandoned its work item.
+    LeaseLost,
+    /// Seed tasks claimed from a job sharded by a different host.
+    SeedStolen,
+    /// Portfolio best-so-far/move-stat records published.
+    PortfolioPublished,
+    /// Portfolio-driven mid-run adaptations applied.
+    PortfolioAdapted,
     /// Number of counters (array size), not a real counter.
     Count,
 }
@@ -161,6 +176,13 @@ const COUNTER_NAMES: [&str; Counter::Count as usize] = [
     "http_quota_rejected",
     "http_admission_rejected",
     "job_cancelled",
+    "lease_acquired",
+    "lease_released",
+    "lease_reaped",
+    "lease_lost",
+    "seed_stolen",
+    "portfolio_published",
+    "portfolio_adapted",
 ];
 
 static COUNTERS: [AtomicU64; Counter::Count as usize] = [ZERO; Counter::Count as usize];
